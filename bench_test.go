@@ -1,0 +1,390 @@
+// Benchmarks mirroring the paper's evaluation, one per table/figure, at
+// testing.B-friendly sizes. The full parameter sweeps with paper-style
+// output live in cmd/fitbench; EXPERIMENTS.md maps each figure to both.
+package fitingtree_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fitingtree"
+	"fitingtree/internal/baseline"
+	"fitingtree/internal/bench"
+	"fitingtree/internal/btree"
+	"fitingtree/internal/costmodel"
+	"fitingtree/internal/diskindex"
+	"fitingtree/internal/pager"
+	"fitingtree/internal/segment"
+	"fitingtree/internal/workload"
+)
+
+const benchN = 200_000
+
+func benchKeys() []uint64 { return workload.Weblogs(benchN, 1) }
+
+func benchVals(n int) []uint64 {
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = uint64(i)
+	}
+	return v
+}
+
+// BenchmarkTable1Segmentation measures the two segmentation algorithms of
+// Table 1 and reports the segment counts they produce.
+func BenchmarkTable1Segmentation(b *testing.B) {
+	keys := workload.Weblogs(20_000, 1)
+	b.Run("shrinkingcone", func(b *testing.B) {
+		segs := 0
+		for i := 0; i < b.N; i++ {
+			segs = len(segment.ShrinkingCone(keys, 100))
+		}
+		b.ReportMetric(float64(segs), "segments")
+	})
+	b.Run("optimal", func(b *testing.B) {
+		segs := 0
+		for i := 0; i < b.N; i++ {
+			segs = segment.OptimalCount(keys, 100)
+		}
+		b.ReportMetric(float64(segs), "segments")
+	})
+}
+
+// BenchmarkFig6Lookup measures point-lookup latency for every approach of
+// Figure 6 on the Weblogs dataset and reports each index's size.
+func BenchmarkFig6Lookup(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	probes := bench.Probes(keys, 1<<16, 2)
+	mask := len(probes) - 1
+
+	for _, e := range []int{100, 10_000} {
+		b.Run(fmt.Sprintf("fiting/e=%d", e), func(b *testing.B) {
+			t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: e})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(t.Stats().IndexSize), "index-bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Lookup(probes[i&mask])
+			}
+		})
+	}
+	for _, ps := range []int{100, 10_000} {
+		b.Run(fmt.Sprintf("fixed/page=%d", ps), func(b *testing.B) {
+			f, err := baseline.NewFixed(keys, vals, ps, btree.DefaultOrder)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(f.SizeBytes()), "index-bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Lookup(probes[i&mask])
+			}
+		})
+	}
+	b.Run("full", func(b *testing.B) {
+		f, err := baseline.NewFull(keys, vals, btree.DefaultOrder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(f.SizeBytes()), "index-bytes")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Lookup(probes[i&mask])
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		f, err := baseline.NewBinarySearch(keys, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Lookup(probes[i&mask])
+		}
+	})
+}
+
+// BenchmarkFig7Insert measures insert throughput for the three approaches
+// of Figure 7 at error/page 100.
+func BenchmarkFig7Insert(b *testing.B) {
+	keys := benchKeys()
+	bulk, inserts := bench.SplitForInserts(keys, 0.2, 3)
+	vals := benchVals(len(bulk))
+	const e = 100
+
+	b.Run("fiting", func(b *testing.B) {
+		t, err := fitingtree.BulkLoad(bulk, vals, fitingtree.Options{Error: e, BufferSize: e / 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Insert(inserts[i%len(inserts)], 0)
+		}
+	})
+	b.Run("fixed", func(b *testing.B) {
+		f, err := baseline.NewFixed(bulk, vals, e, btree.DefaultOrder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Insert(inserts[i%len(inserts)], 0)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		f, err := baseline.NewFull(bulk, vals, btree.DefaultOrder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Insert(inserts[i%len(inserts)], 0)
+		}
+	})
+}
+
+// BenchmarkFig8NonLinearity measures the non-linearity ratio computation
+// (one ShrinkingCone pass) and reports the ratio at the IoT bump scale.
+func BenchmarkFig8NonLinearity(b *testing.B) {
+	keys := workload.IoT(100_000, 1)
+	scale := 100_000 / workload.IoTSpanDays
+	r := 0.0
+	for i := 0; i < b.N; i++ {
+		r = workload.NonLinearityRatio(keys, scale)
+	}
+	b.ReportMetric(r, "ratio")
+}
+
+// BenchmarkFig9WorstCase measures bulk loading the worst-case step dataset
+// and reports the page counts on either side of the Figure 9 crossover.
+func BenchmarkFig9WorstCase(b *testing.B) {
+	keys := workload.Step(100_000, 100, 100)
+	vals := benchVals(len(keys))
+	for _, e := range []int{10, 100} {
+		b.Run(fmt.Sprintf("e=%d", e), func(b *testing.B) {
+			pages := 0
+			for i := 0; i < b.N; i++ {
+				t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: e, BufferSize: 0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages = t.Stats().Pages
+			}
+			b.ReportMetric(float64(pages), "pages")
+		})
+	}
+}
+
+// BenchmarkFig10CostModel measures tuned-index lookups and reports the
+// model's prediction next to them (Figure 10a's two curves).
+func BenchmarkFig10CostModel(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	const e = 1000
+	m, err := costmodel.Learn(keys, []int{10, 100, 1000, 10000}, 50, btree.DefaultOrder, 0.5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: e, BufferSize: e / 2, FillFactor: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := bench.Probes(keys, 1<<16, 4)
+	mask := len(probes) - 1
+	b.ReportMetric(m.Latency(e), "predicted-ns")
+	b.ReportMetric(float64(m.Size(e)), "predicted-bytes")
+	b.ReportMetric(float64(t.Stats().IndexSize), "actual-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(probes[i&mask])
+	}
+}
+
+// BenchmarkFig11Scalability measures lookups as the dataset scales with
+// trends preserved (error = page = 100).
+func BenchmarkFig11Scalability(b *testing.B) {
+	for _, sf := range []int{1, 4} {
+		n := 50_000 * sf
+		keys := workload.Weblogs(n, 1)
+		vals := benchVals(n)
+		probes := bench.Probes(keys, 1<<15, 5)
+		mask := len(probes) - 1
+		b.Run(fmt.Sprintf("x%d", sf), func(b *testing.B) {
+			t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Lookup(probes[i&mask])
+			}
+		})
+	}
+}
+
+// BenchmarkFig12BufferSize measures insert throughput across buffer sizes
+// at a large error threshold.
+func BenchmarkFig12BufferSize(b *testing.B) {
+	keys := benchKeys()
+	bulk, inserts := bench.SplitForInserts(keys, 0.2, 6)
+	vals := benchVals(len(bulk))
+	const e = 20_000
+	for _, bu := range []int{10, 1_000, 10_000} {
+		b.Run(fmt.Sprintf("buf=%d", bu), func(b *testing.B) {
+			t, err := fitingtree.BulkLoad(bulk, vals, fitingtree.Options{Error: e, BufferSize: bu})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Insert(inserts[i%len(inserts)], 0)
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Breakdown measures instrumented lookups and reports the
+// tree-phase share of lookup time.
+func BenchmarkFig13Breakdown(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := bench.Probes(keys, 1<<15, 7)
+	mask := len(probes) - 1
+	var treeNs, pageNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, tn, pn := t.LookupBreakdown(probes[i&mask])
+		treeNs += tn
+		pageNs += pn
+	}
+	if treeNs+pageNs > 0 {
+		b.ReportMetric(100*float64(treeNs)/float64(treeNs+pageNs), "tree-%")
+	}
+}
+
+// BenchmarkBulkLoad measures end-to-end index construction (segmentation +
+// page build + inner tree bulk load).
+func BenchmarkBulkLoad(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeScan measures 1000-element range scans.
+func BenchmarkRangeScan(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := keys[(i*4099)%(len(keys)-2000)]
+		n := 0
+		t.AscendRange(lo, keys[len(keys)-1], func(k, v uint64) bool {
+			n++
+			return n < 1000
+		})
+	}
+}
+
+// BenchmarkSearchStrategies is the Section 4.1.2 ablation: in-segment
+// search algorithm at a small and a large error threshold.
+func BenchmarkSearchStrategies(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	probes := bench.Probes(keys, 1<<15, 8)
+	mask := len(probes) - 1
+	for _, e := range []int{10, 1000} {
+		for _, s := range []struct {
+			name  string
+			strat fitingtree.SearchStrategy
+		}{
+			{"binary", fitingtree.SearchBinary},
+			{"linear", fitingtree.SearchLinear},
+			{"exponential", fitingtree.SearchExponential},
+		} {
+			b.Run(fmt.Sprintf("e=%d/%s", e, s.name), func(b *testing.B) {
+				t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: e, Search: s.strat})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t.Lookup(probes[i&mask])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRouters is the Section 2.2 ablation: B+ tree vs implicit
+// (Eytzinger) segment router.
+func BenchmarkRouters(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	probes := bench.Probes(keys, 1<<15, 9)
+	mask := len(probes) - 1
+	for _, r := range []struct {
+		name string
+		kind fitingtree.RouterKind
+	}{
+		{"btree", fitingtree.RouterBTree},
+		{"implicit", fitingtree.RouterImplicit},
+	} {
+		b.Run(r.name, func(b *testing.B) {
+			t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100, Router: r.kind})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(t.Stats().IndexSize), "index-bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Lookup(probes[i&mask])
+			}
+		})
+	}
+}
+
+// BenchmarkExtIOPageReads measures disk-backed lookups through the buffer
+// pool and reports page reads per operation.
+func BenchmarkExtIOPageReads(b *testing.B) {
+	keys := workload.Weblogs(100_000, 1)
+	pool := pager.NewPool(pager.NewDisk(), 64)
+	col, err := diskindex.StoreColumn(pool, keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ft, err := diskindex.NewFITing(col, 100, keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := bench.Probes(keys, 1<<14, 10)
+	mask := len(probes) - 1
+	pool.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ft.Lookup(probes[i&mask]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := pool.Stats()
+	if st.Hits+st.Misses > 0 {
+		b.ReportMetric(float64(st.Misses)/float64(b.N), "reads/op")
+	}
+}

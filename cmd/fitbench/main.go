@@ -1,0 +1,66 @@
+// Command fitbench reproduces the FITing-Tree paper's evaluation (Section
+// 7): Table 1 and Figures 1, 6, 7, 8, 9, 10, 11, 12, and 13. Each
+// experiment prints the rows or series the paper reports; EXPERIMENTS.md
+// in the repository root records a captured run next to the paper's
+// numbers.
+//
+// Usage:
+//
+//	fitbench -exp all                 # everything, paper order
+//	fitbench -exp fig6 -n 2000000     # one experiment at a larger scale
+//	fitbench -exp table1 -quick       # reduced sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fitingtree/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, all")
+		n      = flag.Int("n", 1_000_000, "base dataset size")
+		seed   = flag.Int64("seed", 1, "workload RNG seed")
+		probes = flag.Int("probes", 100_000, "lookup probes per measurement")
+		quick  = flag.Bool("quick", false, "reduced sweeps for a fast run")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		N:          *n,
+		Seed:       *seed,
+		Probes:     *probes,
+		MinMeasure: 100 * time.Millisecond,
+		Quick:      *quick,
+	}
+
+	runners := map[string]func(){
+		"table1":      func() { bench.Table1(os.Stdout, cfg) },
+		"fig1":        func() { bench.Fig1(os.Stdout, cfg) },
+		"fig6":        func() { bench.Fig6(os.Stdout, cfg) },
+		"fig7":        func() { bench.Fig7(os.Stdout, cfg) },
+		"fig8":        func() { bench.Fig8(os.Stdout, cfg) },
+		"fig9":        func() { bench.Fig9(os.Stdout, cfg) },
+		"fig10":       func() { bench.Fig10(os.Stdout, cfg) },
+		"fig11":       func() { bench.Fig11(os.Stdout, cfg) },
+		"fig12":       func() { bench.Fig12(os.Stdout, cfg) },
+		"fig13":       func() { bench.Fig13(os.Stdout, cfg) },
+		"extio":       func() { bench.ExtIO(os.Stdout, cfg) },
+		"extrange":    func() { bench.ExtRange(os.Stdout, cfg) },
+		"extablation": func() { bench.ExtAblation(os.Stdout, cfg) },
+		"all":         func() { bench.All(os.Stdout, cfg) },
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fitbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	run()
+	fmt.Printf("(%s in %s, n=%d, seed=%d)\n", *exp, time.Since(start).Round(time.Millisecond), *n, *seed)
+}

@@ -1,0 +1,144 @@
+// Command fitcli is a small interactive demonstration of the FITing-Tree
+// public API: it builds an index over a generated dataset and answers
+// point, range, and stats commands from stdin.
+//
+// Usage:
+//
+//	fitcli -dataset iot -n 1000000 -error 100
+//
+// Commands (one per line):
+//
+//	get <key>          point lookup
+//	range <lo> <hi>    count elements in [lo, hi]
+//	insert <key>       insert a key
+//	delete <key>       delete a key
+//	stats              index statistics
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"fitingtree"
+	"fitingtree/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "iot", "dataset: iot, weblogs, taxi")
+		n       = flag.Int("n", 1_000_000, "dataset size")
+		errT    = flag.Int("error", 100, "error threshold")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var keys []uint64
+	switch *dataset {
+	case "iot":
+		keys = workload.IoT(*n, *seed)
+	case "weblogs":
+		keys = workload.Weblogs(*n, *seed)
+	case "taxi":
+		keys = workload.TaxiPickupTime(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "fitcli: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: *errT, BufferSize: -1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fitcli:", err)
+		os.Exit(1)
+	}
+	st := t.Stats()
+	fmt.Printf("loaded %d %s keys: %d segments, index %d bytes (data %d bytes)\n",
+		t.Len(), *dataset, st.Pages, st.IndexSize, st.DataSize)
+
+	runShell(t, os.Stdin, os.Stdout)
+}
+
+// runShell executes commands from in against the tree, writing replies to
+// out, until EOF or the quit command.
+func runShell(t *fitingtree.Tree[uint64, uint64], in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Fprint(out, "> ")
+			continue
+		}
+		switch fields[0] {
+		case "get":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: get <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(out, "bad key:", err)
+				break
+			}
+			if v, ok := t.Lookup(k); ok {
+				fmt.Fprintf(out, "key %d -> value %d\n", k, v)
+			} else {
+				fmt.Fprintf(out, "key %d not found\n", k)
+			}
+		case "range":
+			if len(fields) != 3 {
+				fmt.Fprintln(out, "usage: range <lo> <hi>")
+				break
+			}
+			lo, err1 := strconv.ParseUint(fields[1], 10, 64)
+			hi, err2 := strconv.ParseUint(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(out, "bad bounds")
+				break
+			}
+			count := 0
+			t.AscendRange(lo, hi, func(uint64, uint64) bool { count++; return true })
+			fmt.Fprintf(out, "%d elements in [%d, %d]\n", count, lo, hi)
+		case "insert":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: insert <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(out, "bad key:", err)
+				break
+			}
+			t.Insert(k, 0)
+			fmt.Fprintln(out, "ok")
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: delete <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(out, "bad key:", err)
+				break
+			}
+			fmt.Fprintln(out, "deleted:", t.Delete(k))
+		case "stats":
+			st := t.Stats()
+			fmt.Fprintf(out, "elements=%d pages=%d buffered=%d height=%d index=%dB data=%dB\n",
+				st.Elements, st.Pages, st.Buffered, st.Height, st.IndexSize, st.DataSize)
+		case "quit", "exit":
+			return
+		default:
+			fmt.Fprintln(out, "commands: get, range, insert, delete, stats, quit")
+		}
+		fmt.Fprint(out, "> ")
+	}
+}

@@ -1,0 +1,76 @@
+package fitingtree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshotVersion guards the on-stream format.
+const snapshotVersion = 1
+
+// snapshotHeader is the gob-encoded preamble of an encoded tree.
+type snapshotHeader struct {
+	Version  int
+	Elements int
+	Options  Options
+}
+
+// Encode writes a snapshot of the tree to w: its options followed by every
+// element in key order. Buffered inserts are folded into the stream, so
+// decoding re-bulk-loads a clean, fully segmented tree with the same
+// contents and options.
+func Encode[K Key, V any](t *Tree[K, V], w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{
+		Version:  snapshotVersion,
+		Elements: t.Len(),
+		Options:  t.Options(),
+	}); err != nil {
+		return fmt.Errorf("fitingtree: encode header: %w", err)
+	}
+	keys := make([]K, 0, t.Len())
+	vals := make([]V, 0, t.Len())
+	t.Ascend(func(k K, v V) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	if err := enc.Encode(keys); err != nil {
+		return fmt.Errorf("fitingtree: encode keys: %w", err)
+	}
+	if err := enc.Encode(vals); err != nil {
+		return fmt.Errorf("fitingtree: encode values: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a snapshot produced by Encode and bulk-loads a tree from
+// it.
+func Decode[K Key, V any](r io.Reader) (*Tree[K, V], error) {
+	dec := gob.NewDecoder(r)
+	var h snapshotHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("fitingtree: decode header: %w", err)
+	}
+	if h.Version != snapshotVersion {
+		return nil, fmt.Errorf("fitingtree: unsupported snapshot version %d", h.Version)
+	}
+	var keys []K
+	var vals []V
+	if err := dec.Decode(&keys); err != nil {
+		return nil, fmt.Errorf("fitingtree: decode keys: %w", err)
+	}
+	if err := dec.Decode(&vals); err != nil {
+		return nil, fmt.Errorf("fitingtree: decode values: %w", err)
+	}
+	if len(keys) != h.Elements || len(vals) != h.Elements {
+		return nil, fmt.Errorf("fitingtree: snapshot holds %d/%d elements, header says %d",
+			len(keys), len(vals), h.Elements)
+	}
+	t, err := BulkLoad(keys, vals, h.Options)
+	if err != nil {
+		return nil, fmt.Errorf("fitingtree: rebuild: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a FITing-Tree over a sorted column, look keys up,
+// insert, scan a range, and inspect the space/latency trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fitingtree"
+)
+
+func main() {
+	// A sorted attribute: order timestamps (seconds) of an e-commerce
+	// site, denser during the day than at night.
+	var keys []uint64
+	var vals []string
+	for day := 0; day < 30; day++ {
+		for sec := 0; sec < 86_400; sec += 40 {
+			// Day hours get 8x the traffic of night hours.
+			if h := sec / 3600; h >= 8 && h <= 22 {
+				for burst := 0; burst < 8; burst++ {
+					keys = append(keys, uint64(day*86_400+sec)+uint64(burst))
+					vals = append(vals, fmt.Sprintf("order-%d", len(keys)))
+				}
+			} else {
+				keys = append(keys, uint64(day*86_400+sec))
+				vals = append(vals, fmt.Sprintf("order-%d", len(keys)))
+			}
+		}
+	}
+
+	// Build with a 100-position error budget: lookups scan at most ~200
+	// entries after interpolation.
+	t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100, BufferSize: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := t.Stats()
+	fmt.Printf("indexed %d orders with %d linear segments\n", t.Len(), st.Pages)
+	fmt.Printf("index size: %d bytes (%.4f%% of the %d-byte data)\n",
+		st.IndexSize, 100*float64(st.IndexSize)/float64(st.DataSize), st.DataSize)
+
+	// Point lookup.
+	if v, ok := t.Lookup(keys[12345]); ok {
+		fmt.Printf("key %d -> %s\n", keys[12345], v)
+	}
+
+	// Insert a late-arriving order; the per-segment buffer absorbs it.
+	t.Insert(keys[12345]+1, "order-late")
+	if v, ok := t.Lookup(keys[12345] + 1); ok {
+		fmt.Printf("after insert: %d -> %s\n", keys[12345]+1, v)
+	}
+
+	// Range scan: orders in the first hour of day 3.
+	lo := uint64(3 * 86_400)
+	hi := lo + 3599
+	count := 0
+	t.AscendRange(lo, hi, func(k uint64, v string) bool {
+		count++
+		return true
+	})
+	fmt.Printf("orders in day 3, hour 0: %d\n", count)
+}

@@ -1,0 +1,104 @@
+// Package fitingtree is a Go implementation of FITing-Tree, the data-aware
+// approximate index structure of Galakatos, Markovitch, Binnig, Fonseca and
+// Kraska (SIGMOD 2019; preprint title "A-Tree").
+//
+// # What it is
+//
+// A FITing-Tree indexes a sorted attribute by approximating its key ->
+// position mapping with piece-wise linear segments whose maximal
+// interpolation error is bounded by a tunable threshold E. Only the
+// segments' boundaries (start key, slope, page pointer) are organized in a
+// B+ tree, so the index size is governed by how linear the data is rather
+// than by how many keys it has — often orders of magnitude smaller than a
+// dense B+ tree at comparable lookup latency. Lookups search at most a
+// 2E+1-element window after interpolating; inserts land in per-segment
+// sorted buffers that are merged and re-segmented when full, preserving the
+// error guarantee under updates.
+//
+// # Quick start
+//
+//	keys := []uint64{ ... sorted ... }
+//	vals := []string{ ... parallel ... }
+//	t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100})
+//	v, ok := t.Lookup(keys[42])
+//	t.Insert(12345, "fresh")
+//	t.AscendRange(1000, 2000, func(k uint64, v string) bool { ...; return true })
+//
+// Choose the error threshold with the Section 6 cost model via Tune: given
+// either a lookup latency target (in ns) or an index storage budget (in
+// bytes), it picks the threshold for you from samples of your data.
+//
+// For an attribute of an unsorted heap table, build a non-clustered index
+// with BuildSecondary; it stores sorted (key, row id) postings subject to
+// the same error-bounded segmentation.
+//
+// Wrap a tree in NewConcurrent for a reader/writer-safe facade, and use
+// Encode/Decode to snapshot a tree to and from a stream.
+package fitingtree
+
+import (
+	"fitingtree/internal/core"
+	"fitingtree/internal/num"
+)
+
+// Key is the constraint on indexable key types: every ordered numeric Go
+// type (integers of any width and floats).
+type Key = num.Key
+
+// Options configures a FITing-Tree; see core.Options for field docs. The
+// zero value selects Error 100, BufferSize Error/2 is chosen with
+// BufferSize: -1; BufferSize 0 disables buffering.
+type Options = core.Options
+
+// DefaultError is the error threshold used when Options.Error is zero.
+const DefaultError = core.DefaultError
+
+// SearchStrategy selects the in-segment search algorithm (Section 4.1.2).
+type SearchStrategy = core.SearchStrategy
+
+// In-segment search strategies.
+const (
+	SearchBinary      = core.SearchBinary      // binary search of the 2E+1 window (default)
+	SearchLinear      = core.SearchLinear      // outward scan from the prediction; wins at tiny E
+	SearchExponential = core.SearchExponential // galloping bracket + binary search
+)
+
+// RouterKind selects the structure organizing segment routing keys
+// (Section 2.2 sketches swapping the inner B+ tree for a read-optimized
+// structure).
+type RouterKind = core.RouterKind
+
+// Segment routers.
+const (
+	RouterBTree    = core.RouterBTree    // B+ tree (default; the paper's design)
+	RouterImplicit = core.RouterImplicit // Eytzinger implicit layout; read-optimized
+)
+
+// Tree is a clustered FITing-Tree index from K to V. Build one with
+// BulkLoad; an empty tree from BulkLoad(nil, nil, opts) accepts inserts.
+// Not safe for concurrent use — see Concurrent.
+type Tree[K Key, V any] = core.Tree[K, V]
+
+// Stats describes a tree's size and shape; IndexSize follows the paper's
+// byte accounting (inner tree + 24 bytes per segment).
+type Stats = core.Stats
+
+// Counters reports maintenance activity (inserts, merges, pages created).
+type Counters = core.Counters
+
+// Secondary is a non-clustered FITing-Tree over an attribute of an
+// unsorted heap table; it maps keys to row ids.
+type Secondary[K Key] = core.Secondary[K]
+
+// BulkLoad builds a FITing-Tree over sorted keys (duplicates allowed) and
+// parallel values using the paper's one-pass segmentation. The input is
+// copied.
+func BulkLoad[K Key, V any](keys []K, vals []V, opts Options) (*Tree[K, V], error) {
+	return core.BulkLoad(keys, vals, opts)
+}
+
+// BuildSecondary creates a non-clustered index over an unsorted column;
+// the posting stored for column[i] is row id i.
+func BuildSecondary[K Key](column []K, opts Options) (*Secondary[K], error) {
+	return core.BuildSecondary(column, opts)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fitingtree/internal/num"
+	"fitingtree/internal/segment"
+)
+
+// Insert adds (k, v) to the tree (Algorithm 4). The key is routed to its
+// page's sorted insert buffer; a full buffer triggers a merge with the page
+// data followed by re-segmentation, which preserves the error guarantee.
+// Duplicate keys are allowed and stored alongside existing ones.
+func (t *Tree[K, V]) Insert(k K, v V) {
+	if k != k {
+		panic("fitingtree: Insert with NaN key")
+	}
+	t.counters.Inserts++
+	t.size++
+	p := t.locate(k)
+	if p == nil {
+		// Empty tree: create the initial page.
+		p = &page[K, V]{
+			seg:    segment.Segment[K]{Start: k, Count: 1, Slope: 0},
+			keys:   []K{k},
+			vals:   []V{v},
+			inTree: true,
+		}
+		t.first = p
+		t.idx.insert(k, p)
+		return
+	}
+	// The inner tree routes to the first page of an equal-start run; the
+	// key may belong to a later page of the run (or to the page covering
+	// the gap after it), so advance to the last page whose routing key
+	// precedes k.
+	for p.next != nil && p.next.start() < k {
+		p = p.next
+	}
+	i, _ := findKey(p.bufKeys, k)
+	p.bufKeys = insertAt(p.bufKeys, i, k)
+	p.bufVals = insertAt(p.bufVals, i, v)
+	if len(p.bufKeys) >= num.MaxInt(1, t.opts.BufferSize) {
+		t.merge(p)
+	}
+}
+
+// Delete removes one element with key k and reports whether one was found.
+// Buffered elements are removed directly; elements in page data are removed
+// in place, which widens that page's effective search window by one until
+// the next re-segmentation (deletes are an extension over the paper, which
+// covers only lookups and inserts).
+func (t *Tree[K, V]) Delete(k K) bool {
+	return t.DeleteWhere(k, func(V) bool { return true })
+}
+
+// DeleteWhere removes the first element with key k whose value satisfies
+// pred, reporting whether one was removed. It lets callers disambiguate
+// duplicates (e.g. a secondary index deleting one specific row posting).
+func (t *Tree[K, V]) DeleteWhere(k K, pred func(V) bool) bool {
+	for p := t.firstCandidate(k); p != nil; p = p.next {
+		if i, ok := findKey(p.bufKeys, k); ok {
+			for j := i; j < len(p.bufKeys) && p.bufKeys[j] == k; j++ {
+				if pred(p.bufVals[j]) {
+					p.bufKeys = removeAt(p.bufKeys, j)
+					p.bufVals = removeAt(p.bufVals, j)
+					t.afterDelete(p)
+					return true
+				}
+			}
+		}
+		if i, ok := p.dataSearch(k, t.opts.segError(), t.opts.Search); ok {
+			// dataSearch returns the leftmost match in the page; every
+			// duplicate of k in this page is contiguous from there.
+			for j := i; j < len(p.keys) && p.keys[j] == k; j++ {
+				if pred(p.vals[j]) {
+					p.keys = removeAt(p.keys, j)
+					p.vals = removeAt(p.vals, j)
+					p.deletes++
+					t.afterDelete(p)
+					return true
+				}
+			}
+		}
+		if p.next == nil || p.next.start() > k {
+			return false
+		}
+	}
+	return false
+}
+
+// afterDelete updates accounting and re-segments or drops the page when
+// deletions have eroded it.
+func (t *Tree[K, V]) afterDelete(p *page[K, V]) {
+	t.counters.Deletes++
+	t.size--
+	if len(p.keys) == 0 && len(p.bufKeys) == 0 {
+		t.removePage(p)
+		return
+	}
+	// Bound the window widening: once deletions match the buffer budget,
+	// rebuild the page's model.
+	if p.deletes > 0 && p.deletes+len(p.bufKeys) > num.MaxInt(1, t.opts.BufferSize) {
+		t.merge(p)
+	}
+}
+
+// merge combines a page's data and buffer into one sorted run, re-segments
+// it with the bulk-loading algorithm, and splices the resulting page(s)
+// into the tree in place of p (Algorithm 4 lines 5-9).
+func (t *Tree[K, V]) merge(p *page[K, V]) {
+	t.counters.Merges++
+	mergedKeys, mergedVals := mergeSorted(p.keys, p.vals, p.bufKeys, p.bufVals)
+	if len(mergedKeys) == 0 {
+		t.removePage(p)
+		return
+	}
+	segs := segment.ShrinkingCone(mergedKeys, t.opts.segError())
+	t.counters.PagesMade += len(segs)
+
+	pages := make([]*page[K, V], len(segs))
+	for i, s := range segs {
+		pages[i] = &page[K, V]{
+			seg: segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
+			// Sub-slicing the merged run is safe: pages never grow their
+			// data in place, and in-place deletions stay within a page's
+			// own window of the backing array.
+			keys: mergedKeys[s.StartPos:s.EndPos():s.EndPos()],
+			vals: mergedVals[s.StartPos:s.EndPos():s.EndPos()],
+		}
+		if i > 0 {
+			pages[i-1].next = pages[i]
+			pages[i].prev = pages[i-1]
+		}
+	}
+
+	// Splice the new pages into the chain in place of p.
+	prevP, nextP := p.prev, p.next
+	headNew, tailNew := pages[0], pages[len(pages)-1]
+	if prevP == nil {
+		t.first = headNew
+	} else {
+		prevP.next = headNew
+		headNew.prev = prevP
+	}
+	tailNew.next = nextP
+	if nextP != nil {
+		nextP.prev = tailNew
+	}
+
+	// Update the inner tree. A page is routed iff its start key differs
+	// from its chain predecessor's; p itself may be an unrouted member of
+	// an equal-start run (deletes and dup-chain inserts can merge those).
+	if p.inTree {
+		t.idx.delete(p.start())
+	}
+	for i, np := range pages {
+		pred := prevP
+		if i > 0 {
+			pred = pages[i-1]
+		}
+		if pred != nil && pred.start() == np.start() {
+			continue // equal-start run: only its first page is routed
+		}
+		np.inTree = true
+		if t.idx.insert(np.start(), np) && nextP != nil && nextP.start() == np.start() {
+			// The new page displaced the routing entry of the next
+			// existing page (equal start keys); it is now chain-reachable
+			// only.
+			nextP.inTree = false
+		}
+	}
+}
+
+// removePage splices an empty page out of the chain and the inner tree,
+// promoting the next page of an equal-start run into the tree if needed.
+func (t *Tree[K, V]) removePage(p *page[K, V]) {
+	prevP, nextP := p.prev, p.next
+	if prevP == nil {
+		t.first = nextP
+	} else {
+		prevP.next = nextP
+	}
+	if nextP != nil {
+		nextP.prev = prevP
+	}
+	if p.inTree {
+		t.idx.delete(p.start())
+		if nextP != nil && !nextP.inTree && (prevP == nil || prevP.start() != nextP.start()) {
+			nextP.inTree = true
+			t.idx.insert(nextP.start(), nextP)
+		}
+	}
+}
+
+// mergeSorted merges two sorted key runs (with parallel values) into fresh
+// slices; equal keys keep data-before-buffer order.
+func mergeSorted[K num.Key, V any](aK []K, aV []V, bK []K, bV []V) ([]K, []V) {
+	outK := make([]K, 0, len(aK)+len(bK))
+	outV := make([]V, 0, len(aK)+len(bK))
+	i, j := 0, 0
+	for i < len(aK) && j < len(bK) {
+		if aK[i] <= bK[j] {
+			outK = append(outK, aK[i])
+			outV = append(outV, aV[i])
+			i++
+		} else {
+			outK = append(outK, bK[j])
+			outV = append(outV, bV[j])
+			j++
+		}
+	}
+	outK = append(outK, aK[i:]...)
+	outV = append(outV, aV[i:]...)
+	outK = append(outK, bK[j:]...)
+	outV = append(outV, bV[j:]...)
+	return outK, outV
+}
+
+// insertAt inserts v at index i, shifting the tail right.
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// removeAt removes the element at index i, shifting the tail left.
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"fitingtree/internal/btree"
+	"fitingtree/internal/num"
+)
+
+// RouterKind selects the structure organizing the segments' routing keys.
+// The paper (Section 2.2) notes that "instead of internally using a
+// standard B+ tree ... A-Tree could instead use any other tree-based index
+// structure. For example, if the workload is read-only, other index
+// structures such as the FAST tree could be used." RouterImplicit is that
+// read-optimized variant: a cache-friendly implicit binary layout that is
+// rebuilt (O(segments)) whenever a merge changes the segment set.
+type RouterKind int
+
+const (
+	// RouterBTree organizes segments in the B+ tree substrate (default;
+	// the paper's design).
+	RouterBTree RouterKind = iota
+	// RouterImplicit organizes segments in an Eytzinger-layout implicit
+	// binary search tree: faster, smaller, and cache-friendlier to search,
+	// but every structural update rebuilds it, so it suits read-mostly
+	// workloads.
+	RouterImplicit
+)
+
+// router is the internal index from segment start keys to pages. Both
+// implementations store at most one entry per key (equal-start page runs
+// register only their first page; see the page-chain invariant).
+type router[K num.Key, V any] interface {
+	floor(k K) (*page[K, V], bool)
+	get(k K) (*page[K, V], bool)
+	max() (*page[K, V], bool)
+	// insert registers p under k, reporting whether an existing entry was
+	// replaced.
+	insert(k K, p *page[K, V]) bool
+	delete(k K) bool
+	len() int
+	bulkLoad(keys []K, pages []*page[K, V], fill float64) error
+	stats() btree.Stats
+	check() error
+}
+
+// newRouter constructs the router selected by the options.
+func newRouter[K num.Key, V any](o Options) router[K, V] {
+	if o.Router == RouterImplicit {
+		return &implicitRouter[K, V]{}
+	}
+	return &btreeRouter[K, V]{tr: btree.New[K, *page[K, V]](o.Fanout)}
+}
+
+// btreeRouter adapts the B+ tree substrate to the router interface.
+type btreeRouter[K num.Key, V any] struct {
+	tr *btree.Tree[K, *page[K, V]]
+}
+
+func (r *btreeRouter[K, V]) floor(k K) (*page[K, V], bool) {
+	_, p, ok := r.tr.Floor(k)
+	return p, ok
+}
+
+func (r *btreeRouter[K, V]) get(k K) (*page[K, V], bool) { return r.tr.Get(k) }
+
+func (r *btreeRouter[K, V]) max() (*page[K, V], bool) {
+	_, p, ok := r.tr.Max()
+	return p, ok
+}
+
+func (r *btreeRouter[K, V]) insert(k K, p *page[K, V]) bool { return r.tr.Insert(k, p) }
+func (r *btreeRouter[K, V]) delete(k K) bool                { return r.tr.Delete(k) }
+func (r *btreeRouter[K, V]) len() int                       { return r.tr.Len() }
+
+func (r *btreeRouter[K, V]) bulkLoad(keys []K, pages []*page[K, V], fill float64) error {
+	return r.tr.BulkLoad(keys, pages, fill)
+}
+
+func (r *btreeRouter[K, V]) stats() btree.Stats { return r.tr.Stats() }
+func (r *btreeRouter[K, V]) check() error       { return r.tr.CheckInvariants() }
+
+// implicitRouter keeps routing keys in a sorted array searched through an
+// Eytzinger (BFS) layout. Searches touch one cache line per level with a
+// predictable access pattern; structural mutations rebuild both arrays in
+// O(n), which is cheap because n is the number of segments, not keys.
+type implicitRouter[K num.Key, V any] struct {
+	keys  []K           // sorted
+	pages []*page[K, V] // parallel to keys
+	eytz  []K           // 1-based BFS layout of keys
+	perm  []int32       // eytz slot -> sorted index
+}
+
+// rebuild derives the Eytzinger layout from the sorted arrays.
+func (r *implicitRouter[K, V]) rebuild() {
+	n := len(r.keys)
+	r.eytz = make([]K, n+1)
+	r.perm = make([]int32, n+1)
+	i := 0
+	var fill func(slot int)
+	fill = func(slot int) {
+		if slot > n {
+			return
+		}
+		fill(2 * slot)
+		r.eytz[slot] = r.keys[i]
+		r.perm[slot] = int32(i)
+		i++
+		fill(2*slot + 1)
+	}
+	fill(1)
+}
+
+// searchFloor returns the sorted index of the greatest key <= k, or -1.
+func (r *implicitRouter[K, V]) searchFloor(k K) int {
+	n := len(r.keys)
+	if n == 0 {
+		return -1
+	}
+	best := -1
+	slot := 1
+	for slot <= n {
+		if r.eytz[slot] <= k {
+			// Keys on successive right turns increase, so the last one
+			// recorded is the floor.
+			best = int(r.perm[slot])
+			slot = 2*slot + 1
+		} else {
+			slot = 2 * slot
+		}
+	}
+	return best
+}
+
+func (r *implicitRouter[K, V]) floor(k K) (*page[K, V], bool) {
+	i := r.searchFloor(k)
+	if i < 0 {
+		return nil, false
+	}
+	return r.pages[i], true
+}
+
+func (r *implicitRouter[K, V]) get(k K) (*page[K, V], bool) {
+	i := r.searchFloor(k)
+	if i < 0 || r.keys[i] != k {
+		return nil, false
+	}
+	return r.pages[i], true
+}
+
+func (r *implicitRouter[K, V]) max() (*page[K, V], bool) {
+	if len(r.keys) == 0 {
+		return nil, false
+	}
+	return r.pages[len(r.pages)-1], true
+}
+
+func (r *implicitRouter[K, V]) insert(k K, p *page[K, V]) bool {
+	i, found := findKey(r.keys, k)
+	if found {
+		r.pages[i] = p
+		// Keys unchanged: the layout stays valid.
+		return true
+	}
+	r.keys = insertAt(r.keys, i, k)
+	r.pages = insertAt(r.pages, i, p)
+	r.rebuild()
+	return false
+}
+
+func (r *implicitRouter[K, V]) delete(k K) bool {
+	i, found := findKey(r.keys, k)
+	if !found {
+		return false
+	}
+	r.keys = removeAt(r.keys, i)
+	r.pages = removeAt(r.pages, i)
+	r.rebuild()
+	return true
+}
+
+func (r *implicitRouter[K, V]) len() int { return len(r.keys) }
+
+func (r *implicitRouter[K, V]) bulkLoad(keys []K, pages []*page[K, V], fill float64) error {
+	if len(keys) != len(pages) {
+		return fmt.Errorf("router: %d keys but %d pages", len(keys), len(pages))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return fmt.Errorf("router: keys not strictly ascending at %d", i)
+		}
+	}
+	r.keys = append([]K(nil), keys...)
+	r.pages = append([]*page[K, V](nil), pages...)
+	r.rebuild()
+	return nil
+}
+
+func (r *implicitRouter[K, V]) stats() btree.Stats {
+	h := 0
+	for n := len(r.keys); n > 0; n >>= 1 {
+		h++
+	}
+	return btree.Stats{
+		Len:       len(r.keys),
+		Height:    num.MaxInt(1, h),
+		LeafNodes: 1,
+		SizeBytes: int64(len(r.keys)) * 16, // key + page pointer per entry
+	}
+}
+
+func (r *implicitRouter[K, V]) check() error {
+	if len(r.keys) != len(r.pages) {
+		return fmt.Errorf("router: keys/pages length mismatch")
+	}
+	for i := 1; i < len(r.keys); i++ {
+		if r.keys[i] <= r.keys[i-1] {
+			return fmt.Errorf("router: keys out of order at %d", i)
+		}
+	}
+	if len(r.eytz) != len(r.keys)+1 {
+		return fmt.Errorf("router: stale eytzinger layout")
+	}
+	for slot := 1; slot < len(r.eytz); slot++ {
+		if r.keys[r.perm[slot]] != r.eytz[slot] {
+			return fmt.Errorf("router: layout disagrees with keys at slot %d", slot)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fitingtree/internal/btree"
+	"fitingtree/internal/num"
+)
+
+// lastKey returns the largest key present in the page (data or buffer).
+// Pages are never empty.
+func (p *page[K, V]) lastKey() K {
+	if len(p.bufKeys) == 0 {
+		return p.keys[len(p.keys)-1]
+	}
+	if len(p.keys) == 0 {
+		return p.bufKeys[len(p.bufKeys)-1]
+	}
+	if b := p.bufKeys[len(p.bufKeys)-1]; b > p.keys[len(p.keys)-1] {
+		return b
+	}
+	return p.keys[len(p.keys)-1]
+}
+
+// firstKey returns the smallest key present in the page (data or buffer).
+func (p *page[K, V]) firstKey() K {
+	if len(p.bufKeys) == 0 {
+		return p.keys[0]
+	}
+	if len(p.keys) == 0 {
+		return p.bufKeys[0]
+	}
+	if b := p.bufKeys[0]; b < p.keys[0] {
+		return b
+	}
+	return p.keys[0]
+}
+
+// ascendPage merges the page's data and buffer in key order, calling fn for
+// each pair with lo <= key <= hi, starting from the first key >= lo. It
+// reports false if fn requested a stop.
+func (p *page[K, V]) ascendPage(lo, hi K, fn func(k K, v V) bool) bool {
+	i, _ := findKey(p.keys, lo)
+	j, _ := findKey(p.bufKeys, lo)
+	for i < len(p.keys) || j < len(p.bufKeys) {
+		useData := j >= len(p.bufKeys) ||
+			(i < len(p.keys) && p.keys[i] <= p.bufKeys[j])
+		var k K
+		var v V
+		if useData {
+			k, v = p.keys[i], p.vals[i]
+		} else {
+			k, v = p.bufKeys[j], p.bufVals[j]
+		}
+		if k > hi {
+			return false
+		}
+		if !fn(k, v) {
+			return false
+		}
+		if useData {
+			i++
+		} else {
+			j++
+		}
+	}
+	return true
+}
+
+// AscendRange calls fn for every element with lo <= key <= hi in ascending
+// key order, stopping early if fn returns false. For a clustered index this
+// is the paper's range query: one point lookup for the range start followed
+// by a sequential scan (Section 4.2).
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
+	if hi < lo {
+		return
+	}
+	p := t.locate(lo)
+	if p == nil {
+		return
+	}
+	// Keys equal to lo can spill into preceding pages' tails when
+	// duplicate runs cross page boundaries.
+	for p.prev != nil && p.prev.lastKey() >= lo {
+		p = p.prev
+	}
+	for ; p != nil; p = p.next {
+		if p.firstKey() > hi {
+			return
+		}
+		if !p.ascendPage(lo, hi, fn) {
+			return
+		}
+	}
+}
+
+// Ascend calls fn for every element in ascending key order, stopping early
+// if fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
+	for p := t.first; p != nil; p = p.next {
+		if !p.ascendPage(p.firstKey(), p.lastKey(), fn) {
+			return
+		}
+	}
+}
+
+// descendPage merges the page's data and buffer in reverse key order,
+// calling fn for each pair with lo <= key <= hi, starting from the last
+// key <= hi. It reports false if fn requested a stop.
+func (p *page[K, V]) descendPage(lo, hi K, fn func(k K, v V) bool) bool {
+	i := upperBound(p.keys, hi) - 1
+	j := upperBound(p.bufKeys, hi) - 1
+	for i >= 0 || j >= 0 {
+		useData := j < 0 || (i >= 0 && p.keys[i] >= p.bufKeys[j])
+		var k K
+		var v V
+		if useData {
+			k, v = p.keys[i], p.vals[i]
+		} else {
+			k, v = p.bufKeys[j], p.bufVals[j]
+		}
+		if k < lo {
+			return false
+		}
+		if !fn(k, v) {
+			return false
+		}
+		if useData {
+			i--
+		} else {
+			j--
+		}
+	}
+	return true
+}
+
+// upperBound returns the index of the first key > k in a sorted slice.
+func upperBound[K num.Key](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// DescendRange calls fn for every element with lo <= key <= hi in
+// descending key order, stopping early if fn returns false (the reverse
+// scan an ORDER BY ... DESC query plan wants).
+func (t *Tree[K, V]) DescendRange(hi, lo K, fn func(k K, v V) bool) {
+	if hi < lo {
+		return
+	}
+	p := t.locate(hi)
+	if p == nil {
+		return
+	}
+	// The page routed for hi is the last page whose routing key <= hi,
+	// but duplicate-run chains can continue past it with the same start.
+	for p.next != nil && p.next.start() <= hi {
+		p = p.next
+	}
+	for ; p != nil; p = p.prev {
+		if p.lastKey() < lo {
+			return
+		}
+		if !p.descendPage(lo, hi, fn) {
+			return
+		}
+	}
+}
+
+// Min returns the smallest key and one of its values.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.first == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	k := t.first.firstKey()
+	v, _ := t.searchPage(t.first, k)
+	return k, v, true
+}
+
+// Max returns the largest key and one of its values.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	var zk K
+	var zv V
+	if t.first == nil {
+		return zk, zv, false
+	}
+	p, ok := t.idx.max()
+	if !ok {
+		p = t.first
+	}
+	for p.next != nil {
+		p = p.next
+	}
+	k := p.lastKey()
+	v, _ := t.searchPage(p, k)
+	return k, v, true
+}
+
+// LookupBreakdown is Lookup instrumented with wall-clock timing of its two
+// phases: the inner-tree search for the owning segment and the bounded
+// search within the page. It drives the Figure 13 experiment.
+func (t *Tree[K, V]) LookupBreakdown(k K) (v V, ok bool, treeNs, pageNs int64) {
+	start := time.Now()
+	p := t.locate(k)
+	treeNs = time.Since(start).Nanoseconds()
+	if p == nil {
+		return v, false, treeNs, 0
+	}
+	start = time.Now()
+	for p.prev != nil && p.prev.lastKey() >= k {
+		p = p.prev
+	}
+	for ; p != nil; p = p.next {
+		if v, ok = t.searchPage(p, k); ok {
+			break
+		}
+		if p.next == nil || p.next.start() > k {
+			break
+		}
+	}
+	pageNs = time.Since(start).Nanoseconds()
+	return v, ok, treeNs, pageNs
+}
+
+// Stats describes the size and shape of a FITing-Tree.
+type Stats struct {
+	Elements  int // total stored elements, including buffered ones
+	Pages     int // number of variable-sized table pages (= segments)
+	Buffered  int // elements currently in insert buffers
+	Deletes   int // in-place deletions pending re-segmentation
+	Inner     btree.Stats
+	Height    int   // inner tree height
+	IndexSize int64 // bytes: inner tree + 24 B/segment metadata (paper's accounting)
+	DataSize  int64 // bytes of table data incl. buffers (not part of the index)
+}
+
+// Stats traverses the tree and returns its statistics. The IndexSize
+// accounting matches the paper's SIZE(e) cost model: the inner tree's keys
+// and pointers plus 24 bytes of metadata (start key, slope, page pointer)
+// per segment.
+func (t *Tree[K, V]) Stats() Stats {
+	s := Stats{Elements: t.size}
+	for p := t.first; p != nil; p = p.next {
+		s.Pages++
+		s.Buffered += len(p.bufKeys)
+		s.Deletes += p.deletes
+		s.DataSize += int64(len(p.keys)+len(p.bufKeys)) * 16
+	}
+	s.Inner = t.idx.stats()
+	s.Height = s.Inner.Height
+	s.IndexSize = s.Inner.SizeBytes + int64(s.Pages)*24
+	return s
+}
+
+// CheckInvariants validates the tree's structural invariants; tests drive
+// random workloads through the tree and call this afterwards.
+func (t *Tree[K, V]) CheckInvariants() error {
+	if err := t.idx.check(); err != nil {
+		return fmt.Errorf("fitingtree: inner tree: %w", err)
+	}
+	segErr := t.opts.segError()
+	count := 0
+	inTree := 0
+	var prev *page[K, V]
+	for p := t.first; p != nil; p = p.next {
+		if p.prev != prev {
+			return fmt.Errorf("fitingtree: broken back link at page starting %v", p.start())
+		}
+		if len(p.keys) == 0 && len(p.bufKeys) == 0 {
+			return fmt.Errorf("fitingtree: empty page at %v", p.start())
+		}
+		for i := 1; i < len(p.keys); i++ {
+			if p.keys[i] < p.keys[i-1] {
+				return fmt.Errorf("fitingtree: page data out of order at %v", p.start())
+			}
+		}
+		for i := 1; i < len(p.bufKeys); i++ {
+			if p.bufKeys[i] < p.bufKeys[i-1] {
+				return fmt.Errorf("fitingtree: page buffer out of order at %v", p.start())
+			}
+		}
+		if len(p.keys) != len(p.vals) || len(p.bufKeys) != len(p.bufVals) {
+			return fmt.Errorf("fitingtree: key/value length mismatch at %v", p.start())
+		}
+		if len(p.bufKeys) > num.MaxInt(1, t.opts.BufferSize) {
+			return fmt.Errorf("fitingtree: buffer overflow (%d) at %v", len(p.bufKeys), p.start())
+		}
+		// Error bound: every data element within segErr + pending deletes
+		// of its predicted position.
+		for i := range p.keys {
+			pred := p.seg.Predict(p.keys[i])
+			dev := pred - float64(i)
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > float64(segErr+p.deletes)+1e-6 {
+				return fmt.Errorf("fitingtree: error bound violated at page %v offset %d: |%.2f| > %d",
+					p.start(), i, dev, segErr+p.deletes)
+			}
+		}
+		// Chain order and routing.
+		if prev != nil {
+			if p.start() < prev.start() {
+				return fmt.Errorf("fitingtree: page starts out of order: %v after %v", p.start(), prev.start())
+			}
+			if prev.lastKey() > p.firstKey() {
+				return fmt.Errorf("fitingtree: overlapping pages around %v", p.start())
+			}
+		}
+		wantInTree := prev == nil || prev.start() != p.start()
+		if p.inTree != wantInTree {
+			return fmt.Errorf("fitingtree: page %v inTree=%v, want %v", p.start(), p.inTree, wantInTree)
+		}
+		if p.inTree {
+			inTree++
+			got, ok := t.idx.get(p.start())
+			if !ok || got != p {
+				return fmt.Errorf("fitingtree: inner tree misroutes page %v", p.start())
+			}
+		}
+		count += len(p.keys) + len(p.bufKeys)
+		prev = p
+	}
+	if count != t.size {
+		return fmt.Errorf("fitingtree: size %d but %d elements found", t.size, count)
+	}
+	if inTree != t.idx.len() {
+		return fmt.Errorf("fitingtree: %d in-tree pages but inner tree has %d entries", inTree, t.idx.len())
+	}
+	return nil
+}

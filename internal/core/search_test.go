@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fitingtree/internal/workload"
+)
+
+var strategies = map[string]SearchStrategy{
+	"binary":      SearchBinary,
+	"linear":      SearchLinear,
+	"exponential": SearchExponential,
+}
+
+func TestSearchStrategiesAgree(t *testing.T) {
+	keys := workload.IoT(30_000, 21)
+	vals := make([]int, len(keys))
+	for i := range vals {
+		vals[i] = i
+	}
+	trees := map[string]*Tree[uint64, int]{}
+	for name, s := range strategies {
+		tr, err := BulkLoad(keys, vals, Options{Error: 50, Search: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[name] = tr
+	}
+	probeMax := keys[len(keys)-1] + 100
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 50_000; i++ {
+		var k uint64
+		if i%2 == 0 {
+			k = keys[rng.Intn(len(keys))]
+		} else {
+			k = uint64(rng.Int63n(int64(probeMax)))
+		}
+		_, okB := trees["binary"].Lookup(k)
+		_, okL := trees["linear"].Lookup(k)
+		_, okE := trees["exponential"].Lookup(k)
+		if okB != okL || okB != okE {
+			t.Fatalf("strategies disagree on %d: binary=%v linear=%v exp=%v", k, okB, okL, okE)
+		}
+	}
+}
+
+func TestSearchStrategiesWithMutations(t *testing.T) {
+	for name, s := range strategies {
+		t.Run(name, func(t *testing.T) {
+			keys := make([]uint64, 5000)
+			for i := range keys {
+				keys[i] = uint64(i * 3)
+			}
+			vals := make([]int, len(keys))
+			tr, err := BulkLoad(keys, vals, Options{Error: 16, BufferSize: 8, Search: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(23))
+			present := map[uint64]int{}
+			for _, k := range keys {
+				present[k]++
+			}
+			for i := 0; i < 20_000; i++ {
+				k := uint64(rng.Intn(20_000))
+				switch i % 3 {
+				case 0:
+					tr.Insert(k, i)
+					present[k]++
+				case 1:
+					if tr.Delete(k) != (present[k] > 0) {
+						t.Fatalf("delete mismatch at %d", k)
+					}
+					if present[k] > 0 {
+						present[k]--
+					}
+				case 2:
+					if _, ok := tr.Lookup(k); ok != (present[k] > 0) {
+						t.Fatalf("lookup mismatch at %d", k)
+					}
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRejectInvalidStrategy(t *testing.T) {
+	if _, err := BulkLoad([]uint64{1}, []int{0}, Options{Search: SearchStrategy(99)}); err == nil {
+		t.Fatal("accepted invalid strategy")
+	}
+	if _, err := BulkLoad([]uint64{1}, []int{0}, Options{Search: SearchStrategy(-1)}); err == nil {
+		t.Fatal("accepted negative strategy")
+	}
+}
+
+// Property: the three in-page search primitives agree with sort.Search on
+// random sorted slices and probe points.
+func TestQuickSearchPrimitivesAgree(t *testing.T) {
+	f := func(raw []uint16, probesRaw []uint16, atRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		keys := make([]uint64, len(raw))
+		for i, r := range raw {
+			keys[i] = uint64(r % 300) // duplicates likely
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		n := len(keys)
+		for _, pr := range probesRaw {
+			k := uint64(pr % 300)
+			at := int(atRaw) % n
+			wantIdx := sort.Search(n, func(i int) bool { return keys[i] >= k })
+			want := wantIdx < n && keys[wantIdx] == k
+			bi, bok := binarySearch(keys, 0, n, k)
+			li, lok := linearSearch(keys, 0, n, at, k)
+			ei, eok := exponentialSearch(keys, 0, n, at, k)
+			if bok != want || lok != want || eok != want {
+				return false
+			}
+			if want {
+				// All must land on an element equal to k (not necessarily
+				// the same duplicate).
+				if keys[bi] != k || keys[li] != k || keys[ei] != k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

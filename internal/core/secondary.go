@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fitingtree/internal/num"
+)
+
+// Secondary is a non-clustered FITing-Tree index over an attribute of an
+// unsorted heap table (Section 2.2.1, Figure 3).
+//
+// Unlike the clustered case, the indexed column is not sorted and may
+// contain duplicates, so the index adds one level: sorted key pages that
+// store (key, row pointer) pairs. That level is segmented with the same
+// error-bounded algorithm as a clustered index — here it is simply a
+// clustered FITing-Tree whose values are row identifiers.
+type Secondary[K num.Key] struct {
+	tree *Tree[K, int]
+}
+
+// BuildSecondary creates a secondary index over column; the value stored
+// for column[i] is the row id i. The column is not modified.
+func BuildSecondary[K num.Key](column []K, opts Options) (*Secondary[K], error) {
+	type pair struct {
+		k   K
+		row int
+	}
+	pairs := make([]pair, len(column))
+	for i, k := range column {
+		pairs[i] = pair{k, i}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].k != pairs[j].k {
+			return pairs[i].k < pairs[j].k
+		}
+		return pairs[i].row < pairs[j].row
+	})
+	keys := make([]K, len(pairs))
+	rows := make([]int, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.k
+		rows[i] = p.row
+	}
+	t, err := BulkLoad(keys, rows, opts)
+	if err != nil {
+		return nil, fmt.Errorf("secondary: %w", err)
+	}
+	return &Secondary[K]{tree: t}, nil
+}
+
+// Insert registers that row holds key k (e.g. after appending a row to the
+// heap table).
+func (s *Secondary[K]) Insert(k K, row int) { s.tree.Insert(k, row) }
+
+// Delete removes one (k, row) posting; it reports whether one was found.
+// Because several rows can hold the same key, the row must match too.
+func (s *Secondary[K]) Delete(k K, row int) bool {
+	return s.tree.DeleteWhere(k, func(r int) bool { return r == row })
+}
+
+// Rows returns the ids of every row whose indexed attribute equals k, in
+// index order.
+func (s *Secondary[K]) Rows(k K) []int {
+	var rows []int
+	s.tree.Each(k, func(r int) bool {
+		rows = append(rows, r)
+		return true
+	})
+	return rows
+}
+
+// RangeRows calls fn with the key and row id of every posting with
+// lo <= key <= hi in key order, stopping early if fn returns false. Row
+// fetches from the heap table are random accesses, as with any
+// non-clustered index (Section 4.2).
+func (s *Secondary[K]) RangeRows(lo, hi K, fn func(k K, row int) bool) {
+	s.tree.AscendRange(lo, hi, fn)
+}
+
+// Len returns the number of postings.
+func (s *Secondary[K]) Len() int { return s.tree.Len() }
+
+// Stats returns the statistics of the underlying key-page level.
+func (s *Secondary[K]) Stats() Stats { return s.tree.Stats() }
+
+// CheckInvariants validates the underlying tree.
+func (s *Secondary[K]) CheckInvariants() error { return s.tree.CheckInvariants() }

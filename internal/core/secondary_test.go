@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fitingtree/internal/workload"
+)
+
+func TestSecondaryBuildAndRows(t *testing.T) {
+	// An unsorted column with duplicates.
+	column := []uint64{50, 10, 30, 10, 50, 50, 20, 10}
+	s, err := BuildSecondary(column, Options{Error: 4, BufferSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != len(column) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(column))
+	}
+	cases := map[uint64][]int{
+		10: {1, 3, 7},
+		20: {6},
+		30: {2},
+		50: {0, 4, 5},
+	}
+	for k, want := range cases {
+		got := s.Rows(k)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("Rows(%d) = %v, want %v", k, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Rows(%d) = %v, want %v", k, got, want)
+			}
+		}
+	}
+	if rows := s.Rows(40); rows != nil {
+		t.Fatalf("Rows(40) = %v for absent key", rows)
+	}
+}
+
+func TestSecondaryRange(t *testing.T) {
+	column := workload.MapsLongitude(20_000, 11)
+	// Shuffle to make it a genuine heap-table column.
+	rng := rand.New(rand.NewSource(12))
+	rng.Shuffle(len(column), func(i, j int) { column[i], column[j] = column[j], column[i] })
+	s, err := BuildSecondary(column, Options{Error: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := -10.0, 10.0
+	want := 0
+	for _, k := range column {
+		if k >= lo && k <= hi {
+			want++
+		}
+	}
+	got := 0
+	s.RangeRows(lo, hi, func(k float64, row int) bool {
+		if k < lo || k > hi {
+			t.Fatalf("range returned key %f outside [%f, %f]", k, lo, hi)
+		}
+		if column[row] != k {
+			t.Fatalf("row %d holds %f, index says %f", row, column[row], k)
+		}
+		got++
+		return true
+	})
+	if got != want {
+		t.Fatalf("range visited %d postings, want %d", got, want)
+	}
+}
+
+func TestSecondaryInsertDelete(t *testing.T) {
+	column := []uint64{5, 5, 5, 9}
+	s, err := BuildSecondary(column, Options{Error: 4, BufferSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(5, 4) // row 4 appended with key 5
+	s.Insert(7, 5)
+	rows := s.Rows(5)
+	if len(rows) != 4 {
+		t.Fatalf("Rows(5) = %v, want 4 postings", rows)
+	}
+	// Delete a specific posting.
+	if !s.Delete(5, 1) {
+		t.Fatal("Delete(5, row 1) missed")
+	}
+	if s.Delete(5, 1) {
+		t.Fatal("double delete succeeded")
+	}
+	if s.Delete(5, 99) {
+		t.Fatal("delete of absent row succeeded")
+	}
+	rows = s.Rows(5)
+	sort.Ints(rows)
+	want := []int{0, 2, 4}
+	if len(rows) != len(want) {
+		t.Fatalf("Rows(5) = %v, want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("Rows(5) = %v, want %v", rows, want)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondaryLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	column := make([]uint64, 30_000)
+	for i := range column {
+		column[i] = uint64(rng.Intn(2000)) // heavy duplication
+	}
+	s, err := BuildSecondary(column, Options{Error: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check posting lists against a scan.
+	for probe := uint64(0); probe < 2000; probe += 97 {
+		want := 0
+		for _, k := range column {
+			if k == probe {
+				want++
+			}
+		}
+		if got := len(s.Rows(probe)); got != want {
+			t.Fatalf("Rows(%d) = %d postings, want %d", probe, got, want)
+		}
+	}
+}
+
+func TestSecondaryStats(t *testing.T) {
+	column := workload.MapsLongitude(50_000, 14)
+	s, err := BuildSecondary(column, Options{Error: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Elements != 50_000 {
+		t.Fatalf("Elements = %d", st.Elements)
+	}
+	if st.Pages < 1 || st.IndexSize <= 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+}

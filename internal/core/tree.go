@@ -1,0 +1,445 @@
+// Package core implements the FITing-Tree index (the paper's primary
+// contribution).
+//
+// A FITing-Tree approximates the monotone key->position function of a
+// sorted column with piece-wise linear segments whose maximal interpolation
+// error is bounded by a tunable threshold E (Section 2). Each segment's
+// data lives in a variable-sized table page; the segments' starting keys,
+// slopes, and page pointers are organized in a B+ tree (Figure 2). A point
+// lookup walks the inner tree to the owning page, interpolates the key's
+// position, and binary-searches only the 2E+1 window around the prediction
+// (Section 4). Inserts go to a fixed-size sorted buffer attached to each
+// page; a full buffer is merged with the page and re-segmented with the
+// same one-pass algorithm, so the error guarantee survives updates
+// (Section 5). To make the guarantee hold while elements sit in the
+// buffer, the segmentation error is transparently reduced to
+// E - buffer capacity.
+//
+// Duplicate keys are fully supported (a requirement for non-clustered
+// indexes): consecutive pages may share a starting key, in which case only
+// the first of the run is registered in the inner tree and lookups walk the
+// page chain for the remainder.
+package core
+
+import (
+	"fmt"
+
+	"fitingtree/internal/btree"
+	"fitingtree/internal/num"
+	"fitingtree/internal/segment"
+)
+
+// DefaultError is the error threshold used when Options.Error is zero.
+const DefaultError = 100
+
+// SearchStrategy selects how a lookup locates a key inside its segment's
+// error window (Section 4.1.2: "it is possible to utilize any well-known
+// search algorithm, including linear search, binary search, or exponential
+// search").
+type SearchStrategy int
+
+const (
+	// SearchBinary binary-searches the 2E+1 window (the paper's default).
+	SearchBinary SearchStrategy = iota
+	// SearchLinear scans outward from the predicted position; the paper
+	// notes it can win for very small error thresholds.
+	SearchLinear
+	// SearchExponential gallops from the predicted position, doubling the
+	// step until the key is bracketed, then binary-searches the bracket.
+	SearchExponential
+)
+
+// Options configures a FITing-Tree.
+type Options struct {
+	// Error is the maximum distance E between an element's predicted and
+	// true position, including elements resident in insert buffers. The
+	// lookup window inside a page is 2E+1 elements. Defaults to
+	// DefaultError; must be >= 1.
+	Error int
+
+	// BufferSize is the per-page insert buffer capacity. The segmentation
+	// error is Error - BufferSize, so it must be strictly less than Error.
+	// A negative value selects the paper's default of Error/2; zero means
+	// no buffering (every insert merges immediately).
+	BufferSize int
+
+	// Fanout is the order (max keys per node) of the inner B+ tree.
+	// Defaults to btree.DefaultOrder.
+	Fanout int
+
+	// FillFactor is the inner tree's bulk-load fill in (0, 1]. Defaults
+	// to 1.
+	FillFactor float64
+
+	// Search selects the in-segment search algorithm; defaults to
+	// SearchBinary.
+	Search SearchStrategy
+
+	// Router selects the structure organizing segment routing keys;
+	// defaults to RouterBTree. RouterImplicit is the read-optimized
+	// variant the paper sketches in Section 2.2.
+	Router RouterKind
+}
+
+// withDefaults normalizes opts, returning an error for invalid settings.
+func (o Options) withDefaults() (Options, error) {
+	if o.Error == 0 {
+		o.Error = DefaultError
+	}
+	if o.Error < 1 {
+		return o, fmt.Errorf("fitingtree: Error = %d, must be >= 1", o.Error)
+	}
+	if o.BufferSize < 0 {
+		o.BufferSize = o.Error / 2
+	}
+	if o.BufferSize >= o.Error {
+		return o, fmt.Errorf("fitingtree: BufferSize %d must be < Error %d", o.BufferSize, o.Error)
+	}
+	if o.Fanout == 0 {
+		o.Fanout = btree.DefaultOrder
+	}
+	if o.Fanout < 3 {
+		return o, fmt.Errorf("fitingtree: Fanout = %d, must be >= 3", o.Fanout)
+	}
+	if o.FillFactor == 0 {
+		o.FillFactor = 1
+	}
+	if o.FillFactor < 0 || o.FillFactor > 1 {
+		return o, fmt.Errorf("fitingtree: FillFactor = %f, must be in (0, 1]", o.FillFactor)
+	}
+	if o.Search < SearchBinary || o.Search > SearchExponential {
+		return o, fmt.Errorf("fitingtree: unknown search strategy %d", o.Search)
+	}
+	if o.Router < RouterBTree || o.Router > RouterImplicit {
+		return o, fmt.Errorf("fitingtree: unknown router kind %d", o.Router)
+	}
+	return o, nil
+}
+
+// segError returns the error budget left for segmentation after reserving
+// room for the insert buffer (Section 5).
+func (o Options) segError() int { return o.Error - o.BufferSize }
+
+// page is one variable-sized table page: the data of one segment plus its
+// insert buffer. Pages form a doubly linked list in global key order.
+type page[K num.Key, V any] struct {
+	seg     segment.Segment[K] // prediction model over keys as of last (re)build
+	keys    []K                // sorted segment data
+	vals    []V                // parallel to keys
+	bufKeys []K                // sorted insert buffer
+	bufVals []V
+	deletes int // elements removed from keys since last rebuild
+	inTree  bool
+	next    *page[K, V]
+	prev    *page[K, V]
+}
+
+// start returns the page's first key as of the last rebuild (its routing
+// key in the inner tree).
+func (p *page[K, V]) start() K { return p.seg.Start }
+
+// Counters records maintenance activity, exposed for evaluation
+// (e.g. Figure 7's split-rate discussion).
+type Counters struct {
+	Inserts   int // InsertKey calls
+	Deletes   int // successful Delete calls
+	Merges    int // buffer merge + re-segmentation events
+	PagesMade int // pages created by merges (not counting bulk load)
+}
+
+// Tree is a clustered FITing-Tree index from K to V.
+//
+// Build one with BulkLoad. The zero value is not usable. Tree is not safe
+// for concurrent use; wrap it or serialize access externally.
+type Tree[K num.Key, V any] struct {
+	opts  Options
+	idx   router[K, V]
+	first *page[K, V] // head of the page chain (smallest keys)
+	size  int         // total elements (pages + buffers)
+
+	counters Counters
+}
+
+// BulkLoad builds a FITing-Tree over sorted keys (duplicates allowed) and
+// their parallel values using the one-pass ShrinkingCone segmentation
+// (Section 3). The input slices are copied into per-segment pages.
+func BulkLoad[K num.Key, V any](keys []K, vals []V, opts Options) (*Tree[K, V], error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("fitingtree: %d keys but %d values", len(keys), len(vals))
+	}
+	for i := range keys {
+		// NaN float keys compare false against everything, so they would
+		// slip through the sortedness check and corrupt routing.
+		if keys[i] != keys[i] {
+			return nil, fmt.Errorf("fitingtree: NaN key at index %d", i)
+		}
+		if i > 0 && keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("fitingtree: keys not sorted at index %d", i)
+		}
+	}
+	t := &Tree[K, V]{
+		opts: o,
+		idx:  newRouter[K, V](o),
+		size: len(keys),
+	}
+	if len(keys) == 0 {
+		return t, nil
+	}
+
+	segs := segment.ShrinkingCone(keys, o.segError())
+	pages := make([]*page[K, V], len(segs))
+	var treeKeys []K
+	var treeVals []*page[K, V]
+	for i, s := range segs {
+		p := &page[K, V]{
+			seg:  segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
+			keys: append([]K(nil), keys[s.StartPos:s.EndPos()]...),
+			vals: append([]V(nil), vals[s.StartPos:s.EndPos()]...),
+		}
+		pages[i] = p
+		if i > 0 {
+			pages[i-1].next = p
+			p.prev = pages[i-1]
+		}
+		// Only the first page of a run of equal start keys goes in the
+		// inner tree; lookups reach the rest via the page chain.
+		if i == 0 || pages[i-1].start() != p.start() {
+			p.inTree = true
+			treeKeys = append(treeKeys, p.start())
+			treeVals = append(treeVals, p)
+		}
+	}
+	t.first = pages[0]
+	if err := t.idx.bulkLoad(treeKeys, treeVals, o.FillFactor); err != nil {
+		return nil, fmt.Errorf("fitingtree: inner tree: %w", err)
+	}
+	return t, nil
+}
+
+// Options returns the tree's normalized options.
+func (t *Tree[K, V]) Options() Options { return t.opts }
+
+// Len returns the number of stored elements, including buffered inserts.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Counters returns maintenance counters accumulated since the build.
+func (t *Tree[K, V]) Counters() Counters { return t.counters }
+
+// locate returns the page whose range contains k: the inner-tree floor
+// page, or the first page when k precedes every routing key. Returns nil
+// only for an empty tree.
+func (t *Tree[K, V]) locate(k K) *page[K, V] {
+	if t.first == nil {
+		return nil
+	}
+	p, ok := t.idx.floor(k)
+	if !ok {
+		return t.first
+	}
+	return p
+}
+
+// searchPage looks for k inside a single page (segment data window plus
+// buffer). It returns the value of the first match found.
+func (t *Tree[K, V]) searchPage(p *page[K, V], k K) (V, bool) {
+	if i, ok := p.dataSearch(k, t.opts.segError(), t.opts.Search); ok {
+		return p.vals[i], true
+	}
+	if i, ok := findKey(p.bufKeys, k); ok {
+		return p.bufVals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// firstCandidate returns the earliest page that could contain k. Usually
+// that is the inner tree's floor page, but duplicate runs can spill keys
+// equal to k into the tails of preceding pages, and deletions can leave a
+// key only in an earlier page of the run.
+func (t *Tree[K, V]) firstCandidate(k K) *page[K, V] {
+	p := t.locate(k)
+	if p == nil {
+		return nil
+	}
+	for p.prev != nil && p.prev.lastKey() >= k {
+		p = p.prev
+	}
+	return p
+}
+
+// Lookup returns a value stored under k. When k has duplicates, an
+// arbitrary match is returned; use Each for all of them.
+func (t *Tree[K, V]) Lookup(k K) (V, bool) {
+	for p := t.firstCandidate(k); p != nil; p = p.next {
+		if v, ok := t.searchPage(p, k); ok {
+			return v, true
+		}
+		// A run of equal start keys can span pages; keep walking while the
+		// next page could still contain k.
+		if p.next == nil || p.next.start() > k {
+			break
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k is present.
+func (t *Tree[K, V]) Contains(k K) bool {
+	_, ok := t.Lookup(k)
+	return ok
+}
+
+// Each calls fn for every element with key exactly k, in page order, until
+// fn returns false. Values in page data are visited before buffered values
+// of the same page.
+func (t *Tree[K, V]) Each(k K, fn func(v V) bool) {
+	for p := t.firstCandidate(k); p != nil; p = p.next {
+		if !p.eachMatch(k, t.opts.segError(), t.opts.Search, fn) {
+			return
+		}
+		if p.next == nil || p.next.start() > k {
+			return
+		}
+	}
+}
+
+// dataSearch looks for k in the page's sorted data, restricted to the
+// prediction window of width 2*err around the interpolated position
+// (widened transparently by pending deletions, which can shift true
+// positions). It returns the index of the leftmost element equal to k.
+func (p *page[K, V]) dataSearch(k K, err int, strat SearchStrategy) (int, bool) {
+	n := len(p.keys)
+	if n == 0 {
+		return 0, false
+	}
+	w := err + p.deletes
+	pred := p.seg.Predict(k)
+	lo := num.ClampInt(int(pred)-w, 0, n-1)
+	hi := num.ClampInt(int(pred)+w+1, 0, n) // exclusive
+	var i int
+	var ok bool
+	switch strat {
+	case SearchLinear:
+		i, ok = linearSearch(p.keys, lo, hi, num.ClampInt(int(pred), lo, hi-1), k)
+	case SearchExponential:
+		i, ok = exponentialSearch(p.keys, lo, hi, num.ClampInt(int(pred), lo, hi-1), k)
+	default:
+		i, ok = binarySearch(p.keys, lo, hi, k)
+	}
+	if !ok {
+		return i, false
+	}
+	// Normalize to the leftmost duplicate; every copy of k lies inside the
+	// window, so the rewind is bounded by 2*err.
+	for i > 0 && p.keys[i-1] == k {
+		i--
+	}
+	return i, true
+}
+
+// binarySearch returns the leftmost index of k in keys[lo:hi).
+func binarySearch[K num.Key](keys []K, lo, hi int, k K) (int, bool) {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && keys[lo] == k {
+		return lo, true
+	}
+	return lo, false
+}
+
+// linearSearch scans from the predicted position toward k within
+// keys[lo:hi).
+func linearSearch[K num.Key](keys []K, lo, hi, at int, k K) (int, bool) {
+	if keys[at] < k {
+		for i := at; i < hi; i++ {
+			if keys[i] == k {
+				return i, true
+			}
+			if keys[i] > k {
+				return i, false
+			}
+		}
+		return hi, false
+	}
+	for i := at; i >= lo; i-- {
+		if keys[i] == k {
+			return i, true
+		}
+		if keys[i] < k {
+			return i + 1, false
+		}
+	}
+	return lo, false
+}
+
+// exponentialSearch gallops from the predicted position with doubling
+// steps until k is bracketed, then binary-searches the bracket. All work
+// stays inside keys[lo:hi).
+func exponentialSearch[K num.Key](keys []K, lo, hi, at int, k K) (int, bool) {
+	if keys[at] < k {
+		step := 1
+		prev := at
+		i := at + 1
+		for i < hi && keys[i] < k {
+			prev = i
+			i += step
+			step *= 2
+		}
+		return binarySearch(keys, prev+1, num.MinInt(i+1, hi), k)
+	}
+	step := 1
+	prev := at
+	i := at - 1
+	for i >= lo && keys[i] > k {
+		prev = i
+		i -= step
+		step *= 2
+	}
+	return binarySearch(keys, num.MaxInt(i, lo), prev+1, k)
+}
+
+// eachMatch visits every element equal to k in this page; it reports false
+// if fn requested a stop.
+func (p *page[K, V]) eachMatch(k K, err int, strat SearchStrategy, fn func(v V) bool) bool {
+	if i, ok := p.dataSearch(k, err, strat); ok {
+		for j := i; j < len(p.keys) && p.keys[j] == k; j++ {
+			if !fn(p.vals[j]) {
+				return false
+			}
+		}
+	}
+	if i, ok := findKey(p.bufKeys, k); ok {
+		for j := i; j < len(p.bufKeys) && p.bufKeys[j] == k; j++ {
+			if !fn(p.bufVals[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// findKey binary-searches a small sorted slice for the first occurrence of
+// k.
+func findKey[K num.Key](keys []K, k K) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == k
+}

@@ -1,0 +1,237 @@
+// Package costmodel implements the paper's Section 6 cost model: given an
+// error threshold e it predicts a FITing-Tree's lookup latency and index
+// size, so a DBA can derive the error threshold from either a latency SLA
+// or a storage budget.
+//
+// The latency model (Section 6.1, Equation 1) charges one cache miss c per
+// random access on the three lookup phases:
+//
+//	latency(e) = c * ( log_b(S_e)  +  log2(e)  +  log2(bu) )
+//	                  tree search     segment       buffer
+//
+// The size model (Section 6.2, Equation 1) is deliberately pessimistic:
+//
+//	size(e) = f * S_e * log_b(S_e) * 16B  +  S_e * 24B
+//	          inner tree bound               segment metadata
+//
+// S_e, the number of segments a dataset needs at error e, is data
+// dependent; Learn samples it by segmenting the data at a few thresholds
+// and the model log-log-interpolates between the samples (the paper's
+// "learned for a specific dataset" option).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fitingtree/internal/num"
+	"fitingtree/internal/segment"
+)
+
+// Model predicts lookup latency, insert latency, and index size per error
+// threshold.
+type Model struct {
+	// Elements is the dataset size the model was learned from; it feeds
+	// the amortized split term of the insert model.
+	Elements int
+
+	// C is the cost of a random memory access in nanoseconds (the paper
+	// uses 50ns measured with a memory benchmark; see MeasureCacheMissNs).
+	C float64
+	// Fanout b of the inner B+ tree.
+	Fanout int
+	// Fill factor f of the inner tree (the paper's example uses 0.5).
+	Fill float64
+	// BufferFrac is the insert-buffer fraction of the error threshold
+	// (0.5 matches the evaluation setup: buffer = e/2).
+	BufferFrac float64
+
+	// samples of (error, segments), ascending by error.
+	errs []int
+	segs []int
+}
+
+// Learn builds a model for a dataset by segmenting it at each error in
+// errs (which must be ascending, >= 1).
+func Learn[K num.Key](keys []K, errs []int, c float64, fanout int, fill, bufferFrac float64) (*Model, error) {
+	if len(errs) == 0 {
+		return nil, fmt.Errorf("costmodel: no error thresholds to sample")
+	}
+	if !sort.IntsAreSorted(errs) {
+		return nil, fmt.Errorf("costmodel: error thresholds must be ascending")
+	}
+	if fanout < 3 || fill <= 0 || fill > 1 || c <= 0 {
+		return nil, fmt.Errorf("costmodel: invalid parameters c=%f fanout=%d fill=%f", c, fanout, fill)
+	}
+	if bufferFrac < 0 || bufferFrac >= 1 {
+		return nil, fmt.Errorf("costmodel: bufferFrac %f must be in [0, 1)", bufferFrac)
+	}
+	m := &Model{Elements: len(keys), C: c, Fanout: fanout, Fill: fill, BufferFrac: bufferFrac}
+	for _, e := range errs {
+		if e < 1 {
+			return nil, fmt.Errorf("costmodel: error threshold %d < 1", e)
+		}
+		segErr := e - int(float64(e)*bufferFrac)
+		if segErr < 1 {
+			segErr = 1
+		}
+		m.errs = append(m.errs, e)
+		m.segs = append(m.segs, len(segment.ShrinkingCone(keys, segErr)))
+	}
+	return m, nil
+}
+
+// NewFromSamples builds a model from precomputed (error, segments) samples,
+// ascending by error.
+func NewFromSamples(errs, segs []int, c float64, fanout int, fill, bufferFrac float64) (*Model, error) {
+	if len(errs) != len(segs) || len(errs) == 0 {
+		return nil, fmt.Errorf("costmodel: bad samples: %d errors, %d counts", len(errs), len(segs))
+	}
+	m := &Model{C: c, Fanout: fanout, Fill: fill, BufferFrac: bufferFrac,
+		errs: append([]int(nil), errs...), segs: append([]int(nil), segs...)}
+	return m, nil
+}
+
+// Segments predicts S_e for an arbitrary error threshold by log-log
+// interpolation between the learned samples (clamped at the ends).
+func (m *Model) Segments(e int) float64 {
+	if e < 1 {
+		e = 1
+	}
+	i := sort.SearchInts(m.errs, e)
+	if i < len(m.errs) && m.errs[i] == e {
+		return float64(m.segs[i])
+	}
+	if i == 0 {
+		return float64(m.segs[0])
+	}
+	if i == len(m.errs) {
+		return float64(m.segs[len(m.segs)-1])
+	}
+	x0, x1 := math.Log(float64(m.errs[i-1])), math.Log(float64(m.errs[i]))
+	y0, y1 := math.Log(float64(m.segs[i-1])+1), math.Log(float64(m.segs[i])+1)
+	t := (math.Log(float64(e)) - x0) / (x1 - x0)
+	return math.Exp(y0+t*(y1-y0)) - 1
+}
+
+// bufferSize returns the modeled insert-buffer capacity for error e.
+func (m *Model) bufferSize(e int) float64 {
+	return float64(e) * m.BufferFrac
+}
+
+// Latency predicts the lookup latency in nanoseconds for error threshold e
+// (Section 6.1 Equation 1).
+func (m *Model) Latency(e int) float64 {
+	se := math.Max(1, m.Segments(e))
+	tree := math.Log(se) / math.Log(float64(m.Fanout)) // log_b(S_e)
+	seg := math.Log2(math.Max(2, float64(e)))
+	buf := 0.0
+	if bu := m.bufferSize(e); bu >= 2 {
+		buf = math.Log2(bu)
+	}
+	return m.C * (tree + seg + buf)
+}
+
+// Size predicts the index size in bytes for error threshold e (Section 6.2
+// Equation 1): a pessimistic bound on the inner tree plus 24 bytes of
+// metadata per segment.
+func (m *Model) Size(e int) int64 {
+	se := math.Max(1, m.Segments(e))
+	logb := math.Log(se) / math.Log(float64(m.Fanout))
+	if logb < 1 {
+		// Even a single-level tree stores each entry once.
+		logb = 1
+	}
+	tree := m.Fill * se * logb * 16
+	return int64(tree + se*24)
+}
+
+// entriesPerLine is how many 16-byte index entries share a 64-byte cache
+// line; sequential moves during merges are charged one miss per line.
+const entriesPerLine = 4
+
+// InsertLatency predicts the insert latency in nanoseconds for error
+// threshold e. The paper sketches this model in Section 6.1: an insert (1)
+// walks the tree to the owning segment, (2) adds the key to the sorted
+// buffer (binary search for the slot; the shift stays inside the cached
+// buffer and is not charged a miss), and (3) pays the amortized cost of
+// splitting a full segment — one sequential rewrite of the whole segment
+// (data plus buffer, one miss per cache line) every bu inserts. The
+// amortized term shrinking with the buffer is Figure 12's measured effect.
+func (m *Model) InsertLatency(e int) float64 {
+	se := math.Max(1, m.Segments(e))
+	tree := math.Log(se) / math.Log(float64(m.Fanout))
+	bu := math.Max(1, m.bufferSize(e))
+	buffer := math.Log2(math.Max(2, bu))
+	segLen := float64(m.Elements)/se + bu
+	amortSplit := segLen / entriesPerLine / bu
+	return m.C * (tree + buffer + amortSplit)
+}
+
+// PickForLatency returns the error threshold among candidates with the
+// smallest predicted index size whose predicted latency satisfies
+// maxLatencyNs (Section 6.1 Equation 2). ok is false if no candidate
+// qualifies.
+func (m *Model) PickForLatency(maxLatencyNs float64, candidates []int) (e int, ok bool) {
+	bestSize := int64(math.MaxInt64)
+	for _, c := range candidates {
+		if m.Latency(c) > maxLatencyNs {
+			continue
+		}
+		if s := m.Size(c); s < bestSize {
+			bestSize, e, ok = s, c, true
+		}
+	}
+	return e, ok
+}
+
+// PickForSpace returns the error threshold among candidates with the
+// smallest predicted latency whose predicted size fits budgetBytes
+// (Section 6.2 Equation 2). ok is false if no candidate qualifies.
+func (m *Model) PickForSpace(budgetBytes int64, candidates []int) (e int, ok bool) {
+	bestLat := math.Inf(1)
+	for _, c := range candidates {
+		if m.Size(c) > budgetBytes {
+			continue
+		}
+		if l := m.Latency(c); l < bestLat {
+			bestLat, e, ok = l, c, true
+		}
+	}
+	return e, ok
+}
+
+// MeasureCacheMissNs estimates the cost c of a random memory access by
+// timing a dependent pointer chase through a buffer much larger than the
+// CPU caches. This is the same methodology the paper uses to pick c = 50ns
+// for its hardware.
+func MeasureCacheMissNs(bufBytes int, steps int) float64 {
+	n := bufBytes / 8
+	if n < 1024 {
+		n = 1024
+	}
+	next := make([]int64, n)
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	// Build one random cycle so every load depends on the previous one.
+	for i := 0; i < n-1; i++ {
+		next[perm[i]] = int64(perm[i+1])
+	}
+	next[perm[n-1]] = int64(perm[0])
+	idx := int64(perm[0])
+	// Warm-up.
+	for i := 0; i < n/16; i++ {
+		idx = next[idx]
+	}
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		idx = next[idx]
+	}
+	elapsed := time.Since(start)
+	if idx == -1 { // defeat dead-code elimination; never true
+		panic("unreachable")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(steps)
+}

@@ -1,0 +1,150 @@
+package diskindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"fitingtree/internal/pager"
+	"fitingtree/internal/workload"
+)
+
+func storedColumn(t *testing.T, keys []uint64, frames int) (*Column, *pager.Pool) {
+	t.Helper()
+	pool := pager.NewPool(pager.NewDisk(), frames)
+	col, err := StoreColumn(pool, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, pool
+}
+
+func TestStoreColumnRejectsUnsorted(t *testing.T) {
+	pool := pager.NewPool(pager.NewDisk(), 4)
+	if _, err := StoreColumn(pool, []uint64{2, 1}); err == nil {
+		t.Fatal("accepted unsorted keys")
+	}
+}
+
+func TestAllThreeLookupCorrectly(t *testing.T) {
+	keys := workload.Weblogs(50_000, 1)
+	col, _ := storedColumn(t, keys, 64)
+	ft, err := NewFITing(col, 100, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSparse(col, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := NewBinSearch(col)
+
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		var k uint64
+		want := i%2 == 0
+		if want {
+			k = keys[rng.Intn(len(keys))]
+		} else {
+			// Probe between keys; skip if it collides with a real key.
+			k = keys[rng.Intn(len(keys))] + 1
+			if idx := sortedIndex(keys, k); idx < len(keys) && keys[idx] == k {
+				continue
+			}
+		}
+		for name, lookup := range map[string]func(uint64) (bool, error){
+			"fiting": ft.Lookup, "sparse": sp.Lookup, "binsearch": bs.Lookup,
+		} {
+			got, err := lookup(k)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got != want {
+				t.Fatalf("%s: Lookup(%d) = %v, want %v", name, k, got, want)
+			}
+		}
+	}
+}
+
+func sortedIndex(keys []uint64, k uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func TestFITingReadsFewerPagesThanBinarySearch(t *testing.T) {
+	keys := workload.Weblogs(200_000, 3)
+	col, pool := storedColumn(t, keys, 16) // tiny pool: little caching
+	ft, err := NewFITing(col, 100, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := NewBinSearch(col)
+	rng := rand.New(rand.NewSource(4))
+	probes := make([]uint64, 500)
+	for i := range probes {
+		probes[i] = keys[rng.Intn(len(keys))]
+	}
+
+	pool.ResetStats()
+	for _, k := range probes {
+		if ok, err := ft.Lookup(k); err != nil || !ok {
+			t.Fatalf("fiting Lookup(%d) = %v, %v", k, ok, err)
+		}
+	}
+	ftMisses := pool.Stats().Misses
+
+	pool.ResetStats()
+	for _, k := range probes {
+		if ok, err := bs.Lookup(k); err != nil || !ok {
+			t.Fatalf("binsearch Lookup(%d) = %v, %v", k, ok, err)
+		}
+	}
+	bsMisses := pool.Stats().Misses
+
+	if ftMisses*3 > bsMisses {
+		t.Fatalf("FITing misses %d not well below binary search %d", ftMisses, bsMisses)
+	}
+	// The bounded window means a handful of page reads per lookup at most.
+	if perLookup := float64(ftMisses) / float64(len(probes)); perLookup > 4 {
+		t.Fatalf("FITing reads %.1f pages per lookup, expected <= ~2", perLookup)
+	}
+}
+
+func TestMemoryFootprintOrdering(t *testing.T) {
+	keys := workload.IoT(100_000, 5)
+	col, _ := storedColumn(t, keys, 64)
+	ft, _ := NewFITing(col, 1000, keys)
+	sp, _ := NewSparse(col, keys)
+	bs := NewBinSearch(col)
+	if bs.MemoryBytes() != 0 {
+		t.Fatal("binary search should use no memory")
+	}
+	if ft.MemoryBytes() >= sp.MemoryBytes() {
+		t.Fatalf("FITing memory %d not below sparse %d at E=1000", ft.MemoryBytes(), sp.MemoryBytes())
+	}
+	if ft.Segments() < 1 {
+		t.Fatal("no segments")
+	}
+}
+
+func TestLookupOutsideRange(t *testing.T) {
+	keys := []uint64{100, 200, 300}
+	col, _ := storedColumn(t, keys, 4)
+	ft, _ := NewFITing(col, 10, keys)
+	if ok, _ := ft.Lookup(50); ok {
+		t.Fatal("found key below range")
+	}
+	if ok, _ := ft.Lookup(400); ok {
+		t.Fatal("found key above range")
+	}
+	if ok, _ := ft.Lookup(200); !ok {
+		t.Fatal("missed stored key")
+	}
+}

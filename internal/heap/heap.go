@@ -1,0 +1,109 @@
+// Package heap implements a fixed-length-record heap file over the pager's
+// buffer pool: the table-page substrate for the disk-cost experiment. It
+// supports appends, access by record id, and positional access (record i),
+// which is how a clustered index addresses a sorted column.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fitingtree/internal/pager"
+)
+
+// headerSize is the per-page header: a little-endian uint16 record count.
+const headerSize = 2
+
+// RID identifies a record by page and slot.
+type RID struct {
+	Page pager.PageID
+	Slot uint16
+}
+
+// Table is a heap file of fixed-length records.
+type Table struct {
+	pool    *pager.Pool
+	recSize int
+	perPage int
+	pages   []pager.PageID
+	count   int
+}
+
+// New creates an empty table with the given record size in bytes.
+func New(pool *pager.Pool, recSize int) (*Table, error) {
+	if recSize < 1 || recSize > pager.PageSize-headerSize {
+		return nil, fmt.Errorf("heap: record size %d out of range", recSize)
+	}
+	return &Table{
+		pool:    pool,
+		recSize: recSize,
+		perPage: (pager.PageSize - headerSize) / recSize,
+	}, nil
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return t.count }
+
+// PerPage returns the number of records per page.
+func (t *Table) PerPage() int { return t.perPage }
+
+// Pages returns the number of allocated pages.
+func (t *Table) Pages() int { return len(t.pages) }
+
+// Append stores rec (len == record size) and returns its id. Records fill
+// pages densely in append order, so record i lives at page i/perPage,
+// slot i%perPage.
+func (t *Table) Append(rec []byte) (RID, error) {
+	if len(rec) != t.recSize {
+		return RID{}, fmt.Errorf("heap: record is %d bytes, want %d", len(rec), t.recSize)
+	}
+	slot := t.count % t.perPage
+	if slot == 0 {
+		t.pages = append(t.pages, t.pool.Disk().Allocate())
+	}
+	pid := t.pages[len(t.pages)-1]
+	f, err := t.pool.Get(pid)
+	if err != nil {
+		return RID{}, err
+	}
+	defer f.Unpin()
+	data := f.Data()
+	copy(data[headerSize+slot*t.recSize:], rec)
+	binary.LittleEndian.PutUint16(data, uint16(slot+1))
+	f.MarkDirty()
+	t.count++
+	return RID{Page: pid, Slot: uint16(slot)}, nil
+}
+
+// Get copies record rid into buf (len >= record size).
+func (t *Table) Get(rid RID, buf []byte) error {
+	f, err := t.pool.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer f.Unpin()
+	data := f.Data()
+	n := int(binary.LittleEndian.Uint16(data))
+	if int(rid.Slot) >= n {
+		return fmt.Errorf("heap: slot %d beyond %d records in page %d", rid.Slot, n, rid.Page)
+	}
+	copy(buf, data[headerSize+int(rid.Slot)*t.recSize:headerSize+(int(rid.Slot)+1)*t.recSize])
+	return nil
+}
+
+// RIDAt returns the id of the i-th record in append order.
+func (t *Table) RIDAt(i int) (RID, error) {
+	if i < 0 || i >= t.count {
+		return RID{}, fmt.Errorf("heap: record %d out of range [0, %d)", i, t.count)
+	}
+	return RID{Page: t.pages[i/t.perPage], Slot: uint16(i % t.perPage)}, nil
+}
+
+// GetAt copies the i-th record (append order) into buf.
+func (t *Table) GetAt(i int, buf []byte) error {
+	rid, err := t.RIDAt(i)
+	if err != nil {
+		return err
+	}
+	return t.Get(rid, buf)
+}

@@ -1,0 +1,124 @@
+package heap
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"fitingtree/internal/pager"
+)
+
+func newTable(t *testing.T, frames, recSize int) *Table {
+	t.Helper()
+	pool := pager.NewPool(pager.NewDisk(), frames)
+	tb, err := New(pool, recSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestNewValidation(t *testing.T) {
+	pool := pager.NewPool(pager.NewDisk(), 2)
+	if _, err := New(pool, 0); err == nil {
+		t.Fatal("accepted record size 0")
+	}
+	if _, err := New(pool, pager.PageSize); err == nil {
+		t.Fatal("accepted record size exceeding page capacity")
+	}
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	tb := newTable(t, 4, 8)
+	const n = 5000
+	var rids []RID
+	for i := 0; i < n; i++ {
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(i*3))
+		rid, err := tb.Append(rec[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	wantPages := (n + tb.PerPage() - 1) / tb.PerPage()
+	if tb.Pages() != wantPages {
+		t.Fatalf("Pages = %d, want %d", tb.Pages(), wantPages)
+	}
+	buf := make([]byte, 8)
+	for i, rid := range rids {
+		if err := tb.Get(rid, buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint64(buf); got != uint64(i*3) {
+			t.Fatalf("Get(%v) = %d, want %d", rid, got, i*3)
+		}
+	}
+}
+
+func TestPositionalAccess(t *testing.T) {
+	tb := newTable(t, 4, 16)
+	for i := 0; i < 1000; i++ {
+		rec := make([]byte, 16)
+		binary.LittleEndian.PutUint64(rec, uint64(i))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(i*7))
+		if _, err := tb.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 16)
+	for i := 0; i < 1000; i += 13 {
+		if err := tb.GetAt(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(buf) != uint64(i) || binary.LittleEndian.Uint64(buf[8:]) != uint64(i*7) {
+			t.Fatalf("GetAt(%d) wrong record", i)
+		}
+	}
+	if _, err := tb.RIDAt(-1); err == nil {
+		t.Fatal("RIDAt(-1) succeeded")
+	}
+	if _, err := tb.RIDAt(1000); err == nil {
+		t.Fatal("RIDAt(len) succeeded")
+	}
+}
+
+func TestGetValidation(t *testing.T) {
+	tb := newTable(t, 4, 8)
+	if err := tb.Get(RID{Page: 0, Slot: 0}, make([]byte, 8)); err == nil {
+		t.Fatal("Get on empty table succeeded")
+	}
+	tb.Append(make([]byte, 8))
+	rid, _ := tb.RIDAt(0)
+	if err := tb.Get(RID{Page: rid.Page, Slot: 99}, make([]byte, 8)); err == nil {
+		t.Fatal("Get of absent slot succeeded")
+	}
+	if _, err := tb.Append(make([]byte, 4)); err == nil {
+		t.Fatal("Append of short record succeeded")
+	}
+}
+
+func TestSurvivesEviction(t *testing.T) {
+	// A single-frame pool forces every other access to evict; contents
+	// must survive the write-back round trips.
+	tb := newTable(t, 1, 8)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(i))
+		if _, err := tb.Append(rec[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 8)
+	for i := n - 1; i >= 0; i -= 7 {
+		if err := tb.GetAt(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint64(buf) != uint64(i) {
+			t.Fatalf("GetAt(%d) = %d after evictions", i, binary.LittleEndian.Uint64(buf))
+		}
+	}
+}

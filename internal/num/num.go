@@ -1,0 +1,61 @@
+// Package num defines the numeric key constraint shared by every index
+// structure in this repository and small helpers for interpolation
+// arithmetic.
+//
+// FITing-Tree models an index as a monotonically increasing function from
+// key to position and approximates it with piece-wise linear functions, so
+// keys must support ordered comparison and conversion to float64 for slope
+// arithmetic. All integer and floating-point column types used in the
+// paper's evaluation (timestamps, longitudes, latitudes) satisfy Key.
+package num
+
+// Key is the set of column types an index can be built over.
+//
+// Conversion to float64 is exact for all float64 values and for integers
+// with magnitude below 2^53; beyond that interpolation slopes lose a few
+// low-order bits of precision, which only loosens the predicted position by
+// a sub-integer amount and never violates the error bound enforced by the
+// segmentation algorithms (they verify positions, not floats).
+type Key interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// ToFloat converts a key to float64 for slope and interpolation arithmetic.
+func ToFloat[K Key](k K) float64 { return float64(k) }
+
+// MaxInt returns the larger of two ints.
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinInt returns the smaller of two ints.
+func MinInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ClampInt limits v to the inclusive range [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AbsInt returns the absolute value of an int.
+func AbsInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

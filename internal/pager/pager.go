@@ -1,0 +1,262 @@
+// Package pager provides a simulated page store and buffer pool.
+//
+// The paper evaluates FITing-Tree fully in memory, but its design language
+// — variable-sized table pages referenced from index leaves — is that of a
+// storage-backed index-organized table. This package supplies that
+// substrate for the repository's disk-cost experiment (cmd/fitbench
+// -exp extio): a "disk" of fixed-size pages whose reads and writes are
+// counted, and an LRU buffer pool with pin/unpin semantics in front of it.
+// The disk is main memory (the module is self-contained), so the counters,
+// not wall-clock time, are the measured quantity: they translate to real
+// I/O or cache-miss cost through the cost model's constant c exactly as in
+// Section 6.
+package pager
+
+import (
+	"fmt"
+)
+
+// PageSize is the size of a disk page in bytes.
+const PageSize = 4096
+
+// PageID identifies a disk page.
+type PageID uint32
+
+// invalidPage marks an unused frame.
+const invalidPage = ^PageID(0)
+
+// Disk is a growable array of pages with access accounting.
+type Disk struct {
+	pages  [][]byte
+	reads  int64
+	writes int64
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk { return &Disk{} }
+
+// Allocate appends a zeroed page and returns its id.
+func (d *Disk) Allocate() PageID {
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return PageID(len(d.pages) - 1)
+}
+
+// NumPages returns the number of allocated pages.
+func (d *Disk) NumPages() int { return len(d.pages) }
+
+// Read copies page id into buf (len >= PageSize) and counts one read.
+func (d *Disk) Read(id PageID, buf []byte) error {
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("pager: read of unallocated page %d", id)
+	}
+	d.reads++
+	copy(buf, d.pages[id])
+	return nil
+}
+
+// Write copies buf into page id and counts one write.
+func (d *Disk) Write(id PageID, buf []byte) error {
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("pager: write of unallocated page %d", id)
+	}
+	d.writes++
+	copy(d.pages[id], buf)
+	return nil
+}
+
+// Reads returns the number of page reads served by the disk.
+func (d *Disk) Reads() int64 { return d.reads }
+
+// Writes returns the number of page writes received by the disk.
+func (d *Disk) Writes() int64 { return d.writes }
+
+// frame is one buffer-pool slot.
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	// LRU list links (indices into Pool.frames; -1 terminates).
+	prev, next int
+}
+
+// PoolStats reports buffer pool activity.
+type PoolStats struct {
+	Hits       int64 // Get served from the pool
+	Misses     int64 // Get requiring a disk read
+	Evictions  int64 // frames recycled
+	Writebacks int64 // dirty evictions written to disk
+}
+
+// Pool is an LRU buffer pool over a Disk. It is not safe for concurrent
+// use.
+type Pool struct {
+	disk   *Disk
+	frames []frame
+	free   []int          // frames holding no page
+	lookup map[PageID]int // page id -> frame index
+	// LRU list of unpinned frames: head = most recent.
+	head, tail int
+	stats      PoolStats
+}
+
+// NewPool creates a pool with the given number of frames (>= 1).
+func NewPool(d *Disk, frames int) *Pool {
+	if frames < 1 {
+		frames = 1
+	}
+	p := &Pool{
+		disk:   d,
+		frames: make([]frame, frames),
+		lookup: make(map[PageID]int, frames),
+		head:   -1,
+		tail:   -1,
+	}
+	for i := range p.frames {
+		p.frames[i] = frame{id: invalidPage, data: make([]byte, PageSize), prev: -1, next: -1}
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+// lruRemove unlinks frame i from the LRU list.
+func (p *Pool) lruRemove(i int) {
+	f := &p.frames[i]
+	if f.prev != -1 {
+		p.frames[f.prev].next = f.next
+	} else if p.head == i {
+		p.head = f.next
+	}
+	if f.next != -1 {
+		p.frames[f.next].prev = f.prev
+	} else if p.tail == i {
+		p.tail = f.prev
+	}
+	f.prev, f.next = -1, -1
+}
+
+// lruPush makes frame i the most recently used unpinned frame.
+func (p *Pool) lruPush(i int) {
+	f := &p.frames[i]
+	f.prev, f.next = -1, p.head
+	if p.head != -1 {
+		p.frames[p.head].prev = i
+	}
+	p.head = i
+	if p.tail == -1 {
+		p.tail = i
+	}
+}
+
+// Get pins page id in the pool, reading it from disk on a miss, and
+// returns its frame handle. Callers must Unpin it.
+func (p *Pool) Get(id PageID) (*Frame, error) {
+	if i, ok := p.lookup[id]; ok {
+		f := &p.frames[i]
+		if f.pins == 0 {
+			p.lruRemove(i)
+		}
+		f.pins++
+		p.stats.Hits++
+		return &Frame{pool: p, idx: i}, nil
+	}
+	p.stats.Misses++
+	i, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[i]
+	if err := p.disk.Read(id, f.data); err != nil {
+		// Put the frame back in circulation before reporting.
+		p.free = append(p.free, i)
+		return nil, err
+	}
+	f.id = id
+	f.dirty = false
+	f.pins = 1
+	p.lookup[id] = i
+	return &Frame{pool: p, idx: i}, nil
+}
+
+// victim returns a free frame index, evicting the least recently used
+// unpinned page if necessary.
+func (p *Pool) victim() (int, error) {
+	if n := len(p.free); n > 0 {
+		i := p.free[n-1]
+		p.free = p.free[:n-1]
+		return i, nil
+	}
+	if p.tail == -1 {
+		return 0, fmt.Errorf("pager: all %d frames pinned", len(p.frames))
+	}
+	i := p.tail
+	p.lruRemove(i)
+	f := &p.frames[i]
+	if f.dirty {
+		if err := p.disk.Write(f.id, f.data); err != nil {
+			return 0, err
+		}
+		p.stats.Writebacks++
+	}
+	delete(p.lookup, f.id)
+	p.stats.Evictions++
+	f.id = invalidPage
+	return i, nil
+}
+
+// FlushAll writes every dirty resident page back to disk (pinned pages
+// included; they stay resident).
+func (p *Pool) FlushAll() error {
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.id != invalidPage && f.dirty {
+			if err := p.disk.Write(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats returns pool activity counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// ResetStats zeroes the activity counters (used between experiment
+// phases).
+func (p *Pool) ResetStats() { p.stats = PoolStats{} }
+
+// Frames returns the pool capacity.
+func (p *Pool) Frames() int { return len(p.frames) }
+
+// Disk returns the underlying disk (for allocation and raw counters).
+func (p *Pool) Disk() *Disk { return p.disk }
+
+// Frame is a pinned page handle.
+type Frame struct {
+	pool *Pool
+	idx  int
+}
+
+// Data returns the page's bytes; valid until Unpin.
+func (f *Frame) Data() []byte { return f.pool.frames[f.idx].data }
+
+// ID returns the pinned page's id.
+func (f *Frame) ID() PageID { return f.pool.frames[f.idx].id }
+
+// MarkDirty records that the page was modified, so eviction writes it
+// back.
+func (f *Frame) MarkDirty() { f.pool.frames[f.idx].dirty = true }
+
+// Unpin releases the pin; when the count reaches zero the page becomes
+// evictable.
+func (f *Frame) Unpin() {
+	fr := &f.pool.frames[f.idx]
+	if fr.pins <= 0 {
+		panic("pager: unpin of unpinned frame")
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		f.pool.lruPush(f.idx)
+	}
+}

