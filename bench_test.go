@@ -5,6 +5,8 @@ package fitingtree_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fitingtree"
@@ -358,6 +360,126 @@ func BenchmarkRouters(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkParallelLookup measures aggregate point-lookup throughput at
+// 1/2/4/8 reader goroutines for the two concurrency facades, with the bare
+// tree as the no-synchronization baseline. ns/op is aggregate wall time
+// for b.N lookups spread across the goroutines, so a facade that scales
+// shows shrinking ns/op as goroutines grow (given GOMAXPROCS > 1); the
+// RWMutex facade instead serializes on the lock word.
+func BenchmarkParallelLookup(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	probes := bench.Probes(keys, 1<<16, 11)
+	mask := len(probes) - 1
+	build := func(b *testing.B) *fitingtree.Tree[uint64, uint64] {
+		t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	run := func(b *testing.B, lookup func(uint64) (uint64, bool), goroutines int) {
+		var wg sync.WaitGroup
+		per := b.N/goroutines + 1
+		b.ResetTimer()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(off int) {
+				defer wg.Done()
+				i := off * 7919
+				for n := 0; n < per; n++ {
+					lookup(probes[i&mask])
+					i++
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	b.Run("tree/goroutines=1", func(b *testing.B) {
+		t := build(b)
+		run(b, t.Lookup, 1)
+	})
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("rwmutex/goroutines=%d", g), func(b *testing.B) {
+			c := fitingtree.NewConcurrent(build(b))
+			run(b, c.Lookup, g)
+		})
+	}
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("optimistic/goroutines=%d", g), func(b *testing.B) {
+			o := fitingtree.NewOptimistic(build(b))
+			run(b, o.Lookup, g)
+		})
+	}
+}
+
+// BenchmarkParallelLookupCPU is the testing-native variant of
+// BenchmarkParallelLookup: b.RunParallel spawns GOMAXPROCS goroutines, so
+// `go test -bench ParallelLookupCPU -cpu 1,2,4,8` sweeps the parallelism
+// levels with the scheduler actually granting that many cores.
+func BenchmarkParallelLookupCPU(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	probes := bench.Probes(keys, 1<<16, 13)
+	mask := len(probes) - 1
+	build := func(b *testing.B) *fitingtree.Tree[uint64, uint64] {
+		t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	var worker atomic.Int64
+	run := func(b *testing.B, lookup func(uint64) (uint64, bool)) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(worker.Add(1)) * 7919
+			for pb.Next() {
+				lookup(probes[i&mask])
+				i++
+			}
+		})
+	}
+	b.Run("rwmutex", func(b *testing.B) {
+		c := fitingtree.NewConcurrent(build(b))
+		run(b, c.Lookup)
+	})
+	b.Run("optimistic", func(b *testing.B) {
+		o := fitingtree.NewOptimistic(build(b))
+		run(b, o.Lookup)
+	})
+}
+
+// BenchmarkLookupBatch compares batched lookups (sorted probe order, one
+// router descent per page run) against the same probes issued one by one.
+func BenchmarkLookupBatch(b *testing.B) {
+	keys := benchKeys()
+	vals := benchVals(len(keys))
+	t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 1024
+	probes := bench.Probes(keys, batchSize, 12)
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t.Lookup(probes[i%batchSize])
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i += batchSize {
+			t.LookupBatch(probes)
+		}
+	})
+	sorted := append([]uint64(nil), probes...)
+	sortU64(sorted)
+	b.Run("batch-presorted", func(b *testing.B) {
+		for i := 0; i < b.N; i += batchSize {
+			t.LookupBatch(sorted)
+		}
+	})
 }
 
 // BenchmarkExtIOPageReads measures disk-backed lookups through the buffer

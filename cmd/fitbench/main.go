@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"fitingtree/internal/bench"
@@ -22,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, all")
-		n      = flag.Int("n", 1_000_000, "base dataset size")
-		seed   = flag.Int64("seed", 1, "workload RNG seed")
-		probes = flag.Int("probes", 100_000, "lookup probes per measurement")
-		quick  = flag.Bool("quick", false, "reduced sweeps for a fast run")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, all")
+		n        = flag.Int("n", 1_000_000, "base dataset size")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		probes   = flag.Int("probes", 100_000, "lookup probes per measurement")
+		quick    = flag.Bool("quick", false, "reduced sweeps for a fast run")
+		jsonPath = flag.String("json", "", "write machine-readable results of -exp parallel to this file")
 	)
 	flag.Parse()
 
@@ -52,7 +55,13 @@ func main() {
 		"extio":       func() { bench.ExtIO(os.Stdout, cfg) },
 		"extrange":    func() { bench.ExtRange(os.Stdout, cfg) },
 		"extablation": func() { bench.ExtAblation(os.Stdout, cfg) },
-		"all":         func() { bench.All(os.Stdout, cfg) },
+		"parallel": func() {
+			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
+		},
+		"all": func() {
+			bench.AllButParallel(os.Stdout, cfg)
+			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
+		},
 	}
 	run, ok := runners[*exp]
 	if !ok {
@@ -60,7 +69,37 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonPath != "" && *exp != "parallel" && *exp != "all" {
+		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel or all\n")
+		os.Exit(2)
+	}
 	start := time.Now()
 	run()
 	fmt.Printf("(%s in %s, n=%d, seed=%d)\n", *exp, time.Since(start).Round(time.Millisecond), *n, *seed)
+}
+
+// writeParallelJSON writes the parallel experiment's machine-readable
+// report to path; it is a no-op when path is empty.
+func writeParallelJSON(path string, cfg bench.Config, points []bench.ParallelPoint) {
+	if path == "" {
+		return
+	}
+	report := bench.ParallelReport{
+		Experiment: "parallel",
+		N:          cfg.N,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fitbench: encode json: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fitbench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

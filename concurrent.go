@@ -47,6 +47,15 @@ func (c *Concurrent[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 	c.t.AscendRange(lo, hi, fn)
 }
 
+// LookupBatch looks up every element of keys under one shared lock
+// acquisition, returning values and found flags parallel to keys (see
+// Tree.LookupBatch).
+func (c *Concurrent[K, V]) LookupBatch(keys []K) ([]V, []bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.LookupBatch(keys)
+}
+
 // Insert adds (k, v).
 func (c *Concurrent[K, V]) Insert(k K, v V) {
 	c.mu.Lock()

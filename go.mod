@@ -1,0 +1,3 @@
+module fitingtree
+
+go 1.24

@@ -104,6 +104,7 @@ func TestExperimentSmoke(t *testing.T) {
 		{"extio", func(w *bytes.Buffer) { ExtIO(w, quickCfg()) }},
 		{"extrange", func(w *bytes.Buffer) { ExtRange(w, quickCfg()) }},
 		{"extablation", func(w *bytes.Buffer) { ExtAblation(w, quickCfg()) }},
+		{"parallel", func(w *bytes.Buffer) { ExtParallel(w, quickCfg()) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -16,7 +16,6 @@ package btree
 
 import (
 	"fmt"
-	"sort"
 
 	"fitingtree/internal/num"
 )
@@ -73,9 +72,21 @@ func (t *Tree[K, V]) Len() int { return t.size }
 // height 1 (the root is an empty leaf).
 func (t *Tree[K, V]) Height() int { return t.height }
 
-// search returns the index of the first key in n.keys that is > k.
+// search returns the index of the first key in n.keys that is > k. It is a
+// hand-rolled binary search: sort.Search would cost an indirect closure
+// call per probe on the descent path of every Get/Floor/Insert.
 func search[K num.Key, V any](n *node[K, V], k K) int {
-	return sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > k })
+	keys := n.keys
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // findLeaf descends from the root to the leaf that would contain k.
@@ -393,7 +404,12 @@ func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 		return
 	}
 	n := t.findLeaf(lo)
-	i := sort.Search(len(n.keys), func(j int) bool { return n.keys[j] >= lo })
+	// First index with key >= lo; search() finds the first > lo-ε bound,
+	// so step back over an exact match.
+	i := search(n, lo)
+	if i > 0 && n.keys[i-1] == lo {
+		i--
+	}
 	for n != nil {
 		for ; i < len(n.keys); i++ {
 			if n.keys[i] > hi {

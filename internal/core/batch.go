@@ -1,0 +1,135 @@
+package core
+
+import "fitingtree/internal/num"
+
+// maxChainWalk bounds how many pages LookupBatch follows along the chain
+// before falling back to a fresh router descent: consecutive sorted probes
+// usually land on the same or an adjacent page, but a large key gap is
+// cheaper to cross through the router than one pointer hop at a time.
+const maxChainWalk = 16
+
+// LookupBatch performs Lookup for every element of keys and returns values
+// and found flags parallel to keys. Probes are processed in ascending key
+// order so that keys routed to the same page run reuse the previous
+// descent and advance along the page chain — one router descent per page
+// run instead of one per key. Already-sorted probe sets (common when the
+// batch comes from a sorted join side) skip the sorting pass entirely.
+// Duplicate semantics match Lookup: an arbitrary match is returned.
+func (t *Tree[K, V]) LookupBatch(keys []K) ([]V, []bool) {
+	vals := make([]V, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 || t.first == nil {
+		return vals, found
+	}
+	order := probeOrder(keys) // nil when keys are already ascending
+
+	var p *page[K, V] // candidate page left by the previous (smaller) probe
+	for n := range keys {
+		oi := n
+		if order != nil {
+			oi = int(order[n])
+		}
+		k := keys[oi]
+		if p == nil {
+			p = t.firstCandidate(k)
+		} else {
+			// Probes ascend, so the owning page can only move forward.
+			for i := 0; ; i++ {
+				if p.next == nil || p.next.start() > k {
+					break
+				}
+				if i == maxChainWalk {
+					p = t.locate(k)
+					break
+				}
+				p = p.next
+			}
+			// Duplicate runs can spill keys equal to k into the tails of
+			// preceding pages (see firstCandidate).
+			for p.prev != nil && p.prev.lastKey() >= k {
+				p = p.prev
+			}
+		}
+		// Search forward across the equal-start run, like Lookup.
+		for q := p; q != nil; q = q.next {
+			if v, ok := t.searchPage(q, k); ok {
+				vals[oi], found[oi] = v, true
+				break
+			}
+			if q.next == nil || q.next.start() > k {
+				break
+			}
+		}
+	}
+	return vals, found
+}
+
+// probeOrder returns a permutation visiting keys in ascending order, or
+// nil when keys are already sorted (the free fast path).
+func probeOrder[K num.Key](keys []K) []int32 {
+	ascending := true
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			ascending = false
+			break
+		}
+	}
+	if ascending {
+		return nil
+	}
+	order := make([]int32, len(keys))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sortPerm(keys, order)
+	return order
+}
+
+// sortPerm sorts the permutation p by keys[p[i]]: a median-of-three
+// quicksort with an insertion-sorted tail, specialized so every comparison
+// is a direct key compare instead of sort.Slice's closure call — the sort
+// is on LookupBatch's critical path and dominates it for random probes.
+func sortPerm[K num.Key](keys []K, p []int32) {
+	for len(p) > 12 {
+		m := len(p) / 2
+		last := len(p) - 1
+		if keys[p[m]] < keys[p[0]] {
+			p[m], p[0] = p[0], p[m]
+		}
+		if keys[p[last]] < keys[p[m]] {
+			p[last], p[m] = p[m], p[last]
+			if keys[p[m]] < keys[p[0]] {
+				p[m], p[0] = p[0], p[m]
+			}
+		}
+		pivot := keys[p[m]]
+		i, j := 0, last
+		for i <= j {
+			for keys[p[i]] < pivot {
+				i++
+			}
+			for keys[p[j]] > pivot {
+				j--
+			}
+			if i <= j {
+				p[i], p[j] = p[j], p[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, iterate on the larger one to
+		// bound stack depth.
+		if j < len(p)-i {
+			sortPerm(keys, p[:j+1])
+			p = p[i:]
+		} else {
+			sortPerm(keys, p[i:])
+			p = p[:j+1]
+		}
+	}
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && keys[p[j]] < keys[p[j-1]]; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}

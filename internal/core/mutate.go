@@ -67,7 +67,7 @@ func (t *Tree[K, V]) DeleteWhere(k K, pred func(V) bool) bool {
 				}
 			}
 		}
-		if i, ok := p.dataSearch(k, t.opts.segError(), t.opts.Search); ok {
+		if i, ok := p.dataSearch(k, t.segErr, t.strat); ok {
 			// dataSearch returns the leftmost match in the page; every
 			// duplicate of k in this page is contiguous from there.
 			for j := i; j < len(p.keys) && p.keys[j] == k; j++ {

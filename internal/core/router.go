@@ -44,15 +44,9 @@ type router[K num.Key, V any] interface {
 	check() error
 }
 
-// newRouter constructs the router selected by the options.
-func newRouter[K num.Key, V any](o Options) router[K, V] {
-	if o.Router == RouterImplicit {
-		return &implicitRouter[K, V]{}
-	}
-	return &btreeRouter[K, V]{tr: btree.New[K, *page[K, V]](o.Fanout)}
-}
-
-// btreeRouter adapts the B+ tree substrate to the router interface.
+// btreeRouter adapts the B+ tree substrate to the router interface. Trees
+// install routers via initRouter, which also retains the concrete value so
+// the lookup hot path skips this interface.
 type btreeRouter[K num.Key, V any] struct {
 	tr *btree.Tree[K, *page[K, V]]
 }

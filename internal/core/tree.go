@@ -157,7 +157,29 @@ type Tree[K num.Key, V any] struct {
 	first *page[K, V] // head of the page chain (smallest keys)
 	size  int         // total elements (pages + buffers)
 
+	// Hot-path state precomputed at construction so lookups neither
+	// recompute option-derived values nor dispatch through the router
+	// interface: rbt/rim hold the concrete router (exactly one is non-nil)
+	// for devirtualized floor searches.
+	segErr int            // opts.segError(), the in-page window half-width
+	strat  SearchStrategy // opts.Search
+	rbt    *btree.Tree[K, *page[K, V]]
+	rim    *implicitRouter[K, V]
+
 	counters Counters
+}
+
+// initRouter installs the router selected by o, keeping both the interface
+// (for cold structural operations) and the concrete pointer (for the
+// devirtualized lookup path).
+func (t *Tree[K, V]) initRouter(o Options) {
+	if o.Router == RouterImplicit {
+		r := &implicitRouter[K, V]{}
+		t.idx, t.rim = r, r
+		return
+	}
+	r := &btreeRouter[K, V]{tr: btree.New[K, *page[K, V]](o.Fanout)}
+	t.idx, t.rbt = r, r.tr
 }
 
 // BulkLoad builds a FITing-Tree over sorted keys (duplicates allowed) and
@@ -182,10 +204,12 @@ func BulkLoad[K num.Key, V any](keys []K, vals []V, opts Options) (*Tree[K, V], 
 		}
 	}
 	t := &Tree[K, V]{
-		opts: o,
-		idx:  newRouter[K, V](o),
-		size: len(keys),
+		opts:   o,
+		size:   len(keys),
+		segErr: o.segError(),
+		strat:  o.Search,
 	}
+	t.initRouter(o)
 	if len(keys) == 0 {
 		return t, nil
 	}
@@ -231,12 +255,20 @@ func (t *Tree[K, V]) Counters() Counters { return t.counters }
 
 // locate returns the page whose range contains k: the inner-tree floor
 // page, or the first page when k precedes every routing key. Returns nil
-// only for an empty tree.
+// only for an empty tree. The router call is devirtualized: the concrete
+// floor search is reached directly rather than through the router
+// interface, which would block inlining on the hottest call of a lookup.
 func (t *Tree[K, V]) locate(k K) *page[K, V] {
 	if t.first == nil {
 		return nil
 	}
-	p, ok := t.idx.floor(k)
+	var p *page[K, V]
+	var ok bool
+	if t.rim != nil {
+		p, ok = t.rim.floor(k)
+	} else {
+		_, p, ok = t.rbt.Floor(k)
+	}
 	if !ok {
 		return t.first
 	}
@@ -246,7 +278,7 @@ func (t *Tree[K, V]) locate(k K) *page[K, V] {
 // searchPage looks for k inside a single page (segment data window plus
 // buffer). It returns the value of the first match found.
 func (t *Tree[K, V]) searchPage(p *page[K, V], k K) (V, bool) {
-	if i, ok := p.dataSearch(k, t.opts.segError(), t.opts.Search); ok {
+	if i, ok := p.dataSearch(k, t.segErr, t.strat); ok {
 		return p.vals[i], true
 	}
 	if i, ok := findKey(p.bufKeys, k); ok {
@@ -299,7 +331,7 @@ func (t *Tree[K, V]) Contains(k K) bool {
 // of the same page.
 func (t *Tree[K, V]) Each(k K, fn func(v V) bool) {
 	for p := t.firstCandidate(k); p != nil; p = p.next {
-		if !p.eachMatch(k, t.opts.segError(), t.opts.Search, fn) {
+		if !p.eachMatch(k, t.segErr, t.strat, fn) {
 			return
 		}
 		if p.next == nil || p.next.start() > k {

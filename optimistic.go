@@ -1,0 +1,497 @@
+package fitingtree
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultFlushEvery is the number of pending writes that triggers an
+// Optimistic facade's delta flush (merge into a freshly built tree).
+const DefaultFlushEvery = 1024
+
+// Optimistic is a concurrency facade over a Tree with latch-free reads
+// under a single-writer model, the regime the FB+-tree line of work calls
+// optimistic lock coupling: Lookup, Contains, Each, AscendRange and
+// LookupBatch take no lock and never block or retry-loop, so aggregate
+// read throughput scales with reader goroutines instead of serializing on
+// a lock word the way the RWMutex-based Concurrent facade does.
+//
+// Writers (Insert, Delete) are serialized by an internal mutex and publish
+// every change as a new immutable state: the bulk-loaded base tree plus a
+// small sorted delta of pending inserts and deletions. A seqlock-style
+// version stamp is bumped to odd before and even after each publication;
+// point reads validate it afterwards and re-read once if a publication
+// raced them. Unlike a C-style seqlock, correctness never depends on that
+// validation — readers can only ever observe fully published immutable
+// states (Go's atomics give the needed happens-before edge), so the stamp
+// buys freshness, not safety, and torn reads are impossible. Old states
+// are reclaimed by the garbage collector once the last reader drops them,
+// which is what makes the scheme safe without epoch bookkeeping.
+//
+// Once the delta reaches the flush threshold (SetFlushEvery), the writer
+// folds it into a new bulk-loaded tree — an O(n) compaction amortized over
+// the threshold, the price of keeping the base tree immutable. The facade
+// therefore suits read-heavy workloads; a write-dominated workload is
+// better served by a plain Tree behind Concurrent.
+//
+// Scans and batch lookups run against one consistent snapshot: writes
+// published during a scan are not observed by it.
+type Optimistic[K Key, V any] struct {
+	mu      sync.Mutex // serializes writers
+	version atomic.Uint64
+	state   atomic.Pointer[ostate[K, V]]
+	flushAt int
+}
+
+// ostate is one immutable published state. Neither the tree nor the delta
+// is ever mutated after publication.
+type ostate[K Key, V any] struct {
+	tree  *Tree[K, V]
+	delta *odelta[K, V] // nil when no writes are pending
+	size  int           // live elements: tree minus deletions plus inserts
+}
+
+// odelta is an immutable sorted set of pending per-key write operations.
+// dels[i] counts deletions applied to the base tree's matches for keys[i]:
+// the first dels[i] matches in Each order are treated as removed. adds[i]
+// holds pending inserts for keys[i] in insertion order.
+type odelta[K Key, V any] struct {
+	keys []K
+	adds [][]V
+	dels []int
+	addN int // total pending inserts
+	delN int // total pending deletions
+}
+
+// NewOptimistic wraps an existing tree. The tree must not be used directly
+// afterwards: the facade owns it and replaces it wholesale on flush.
+func NewOptimistic[K Key, V any](t *Tree[K, V]) *Optimistic[K, V] {
+	o := &Optimistic[K, V]{flushAt: DefaultFlushEvery}
+	o.state.Store(&ostate[K, V]{tree: t, size: t.Len()})
+	return o
+}
+
+// SetFlushEvery sets the number of pending writes that triggers a delta
+// flush. It must be called before the facade is shared with readers.
+func (o *Optimistic[K, V]) SetFlushEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	o.flushAt = n
+}
+
+// Version returns the current write stamp. It is even when no publication
+// is in flight and increases by two per published write.
+func (o *Optimistic[K, V]) Version() uint64 { return o.version.Load() }
+
+// Lookup returns a value stored under k. When k has duplicates, an
+// arbitrary match is returned; use Each for all of them.
+func (o *Optimistic[K, V]) Lookup(k K) (V, bool) {
+	v1 := o.version.Load()
+	st := o.state.Load()
+	// The no-delta branch stays inline: st.lookup is too large to inline
+	// and the extra call costs measurable latency on the hottest path.
+	var val V
+	var ok bool
+	if st.delta == nil {
+		val, ok = st.tree.Lookup(k)
+	} else {
+		val, ok = st.lookup(k)
+	}
+	if o.version.Load() != v1 {
+		// A publication raced this read. The result above is still a
+		// consistent snapshot read; re-reading once returns the freshest
+		// published state instead.
+		val, ok = o.state.Load().lookup(k)
+	}
+	return val, ok
+}
+
+// Contains reports whether k is present.
+func (o *Optimistic[K, V]) Contains(k K) bool {
+	_, ok := o.Lookup(k)
+	return ok
+}
+
+// Each calls fn for every element with key exactly k against one
+// consistent snapshot: base-tree matches first (in page order), then
+// pending inserts in insertion order. Writes published while the scan runs
+// are not observed by it.
+func (o *Optimistic[K, V]) Each(k K, fn func(v V) bool) {
+	o.state.Load().each(k, fn)
+}
+
+// AscendRange calls fn for elements with lo <= key <= hi in ascending key
+// order against one consistent snapshot.
+func (o *Optimistic[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
+	if hi < lo {
+		return
+	}
+	o.state.Load().ascendRange(lo, hi, fn)
+}
+
+// LookupBatch looks up every element of keys against one consistent
+// snapshot, returning values and found flags parallel to keys. The probe
+// set is processed in sorted order to amortize router descents (see
+// Tree.LookupBatch).
+func (o *Optimistic[K, V]) LookupBatch(keys []K) ([]V, []bool) {
+	st := o.state.Load()
+	vals, found := st.tree.LookupBatch(keys)
+	if d := st.delta; d != nil {
+		for i, k := range keys {
+			j, ok := d.find(k)
+			if !ok {
+				continue
+			}
+			if n := len(d.adds[j]); n > 0 {
+				vals[i], found[i] = d.adds[j][n-1], true
+			} else if found[i] {
+				// Only deletions are pending for k; recheck survivors.
+				vals[i], found[i] = st.lookup(k)
+			}
+		}
+	}
+	return vals, found
+}
+
+// Len returns the number of stored elements, including pending inserts.
+func (o *Optimistic[K, V]) Len() int { return o.state.Load().size }
+
+// Stats returns the base tree's statistics with Elements and Buffered
+// adjusted for pending delta writes.
+func (o *Optimistic[K, V]) Stats() Stats {
+	st := o.state.Load()
+	s := st.tree.Stats()
+	s.Elements = st.size
+	if st.delta != nil {
+		s.Buffered += st.delta.addN
+	}
+	return s
+}
+
+// Insert adds (k, v).
+func (o *Optimistic[K, V]) Insert(k K, v V) {
+	if k != k {
+		panic("fitingtree: Insert with NaN key")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := o.state.Load()
+	o.publish(o.maybeFlush(&ostate[K, V]{
+		tree:  st.tree,
+		delta: st.delta.withInsert(k, v),
+		size:  st.size + 1,
+	}))
+}
+
+// Delete removes one element with key k and reports whether one was found.
+// Which of several duplicates is removed is unspecified, as with
+// Tree.Delete.
+func (o *Optimistic[K, V]) Delete(k K) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := o.state.Load()
+	nd, ok := st.withDelete(k)
+	if !ok {
+		return false
+	}
+	o.publish(o.maybeFlush(&ostate[K, V]{tree: st.tree, delta: nd, size: st.size - 1}))
+	return true
+}
+
+// publish installs next as the current state, bumping the version stamp to
+// odd for the duration of the store. Callers hold o.mu.
+func (o *Optimistic[K, V]) publish(next *ostate[K, V]) {
+	o.version.Add(1)
+	o.state.Store(next)
+	o.version.Add(1)
+}
+
+// maybeFlush folds the delta into a fresh bulk-loaded tree once enough
+// writes are pending. Callers hold o.mu.
+func (o *Optimistic[K, V]) maybeFlush(st *ostate[K, V]) *ostate[K, V] {
+	d := st.delta
+	if d == nil || d.addN+d.delN < o.flushAt {
+		return st
+	}
+	keys := make([]K, 0, st.size)
+	vals := make([]V, 0, st.size)
+	if lo, hi, ok := st.bounds(); ok {
+		st.ascendRange(lo, hi, func(k K, v V) bool {
+			keys = append(keys, k)
+			vals = append(vals, v)
+			return true
+		})
+	}
+	t, err := BulkLoad(keys, vals, st.tree.Options())
+	if err != nil {
+		// Unreachable: the merged scan emits sorted non-NaN keys and the
+		// options were already validated when the base tree was built.
+		panic(fmt.Sprintf("fitingtree: optimistic flush: %v", err))
+	}
+	return &ostate[K, V]{tree: t, size: len(keys)}
+}
+
+// bounds returns the smallest and largest key across the base tree and the
+// delta, reporting false when the state is empty.
+func (st *ostate[K, V]) bounds() (lo, hi K, ok bool) {
+	if st.tree.Len() > 0 {
+		lo, _, _ = st.tree.Min()
+		hi, _, _ = st.tree.Max()
+		ok = true
+	}
+	if d := st.delta; d != nil && len(d.keys) > 0 {
+		if !ok || d.keys[0] < lo {
+			lo = d.keys[0]
+		}
+		if !ok || d.keys[len(d.keys)-1] > hi {
+			hi = d.keys[len(d.keys)-1]
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+// lookup resolves a point read against this state.
+func (st *ostate[K, V]) lookup(k K) (V, bool) {
+	d := st.delta
+	if d == nil {
+		return st.tree.Lookup(k)
+	}
+	i, ok := d.find(k)
+	if !ok {
+		return st.tree.Lookup(k)
+	}
+	if n := len(d.adds[i]); n > 0 {
+		return d.adds[i][n-1], true
+	}
+	// Only deletions are pending for k: the survivors are the base
+	// matches past the first dels[i] in Each order.
+	skip := d.dels[i]
+	var val V
+	found := false
+	n := 0
+	st.tree.Each(k, func(v V) bool {
+		if n == skip {
+			val, found = v, true
+			return false
+		}
+		n++
+		return true
+	})
+	return val, found
+}
+
+// each visits every live element with key k: surviving base matches, then
+// pending inserts.
+func (st *ostate[K, V]) each(k K, fn func(v V) bool) {
+	skip := 0
+	var adds []V
+	if d := st.delta; d != nil {
+		if i, ok := d.find(k); ok {
+			skip, adds = d.dels[i], d.adds[i]
+		}
+	}
+	stopped := false
+	n := 0
+	st.tree.Each(k, func(v V) bool {
+		if n < skip {
+			n++
+			return true
+		}
+		if !fn(v) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, v := range adds {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// ascendRange merges the base-tree scan with the pending delta in key
+// order: per key, surviving base matches first, then pending inserts in
+// insertion order.
+func (st *ostate[K, V]) ascendRange(lo, hi K, fn func(k K, v V) bool) {
+	d := st.delta
+	if d == nil {
+		st.tree.AscendRange(lo, hi, fn)
+		return
+	}
+	di := lowerBound(d.keys, lo)
+	// emitDeltaTo flushes pending inserts for delta keys up to bound
+	// (exclusive, or inclusive when incl), reporting false on early stop.
+	emitDeltaTo := func(bound K, incl bool) bool {
+		for di < len(d.keys) {
+			dk := d.keys[di]
+			if dk > hi || dk > bound || (dk == bound && !incl) {
+				return true
+			}
+			for _, v := range d.adds[di] {
+				if !fn(dk, v) {
+					return false
+				}
+			}
+			di++
+		}
+		return true
+	}
+	stopped := false
+	var cur K
+	haveCur := false
+	skip, seen := 0, 0
+	st.tree.AscendRange(lo, hi, func(k K, v V) bool {
+		if !haveCur || k != cur {
+			if !emitDeltaTo(k, false) {
+				stopped = true
+				return false
+			}
+			haveCur, cur, seen, skip = true, k, 0, 0
+			if di < len(d.keys) && d.keys[di] == k {
+				skip = d.dels[di]
+			}
+		}
+		if seen < skip {
+			seen++
+			return true
+		}
+		if !fn(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	emitDeltaTo(hi, true)
+}
+
+// find returns the index of k in the delta, nil-safe.
+func (d *odelta[K, V]) find(k K) (int, bool) {
+	if d == nil {
+		return 0, false
+	}
+	i := lowerBound(d.keys, k)
+	return i, i < len(d.keys) && d.keys[i] == k
+}
+
+// withInsert returns a copy of the delta (nil-safe) with v pending under
+// k. Shared inner slices are never mutated: the touched entry is rebuilt.
+func (d *odelta[K, V]) withInsert(k K, v V) *odelta[K, V] {
+	i, found := d.find(k)
+	nd := d.clone(i, !found)
+	entry := make([]V, len(nd.adds[i])+1)
+	copy(entry, nd.adds[i])
+	entry[len(entry)-1] = v
+	nd.keys[i] = k
+	nd.adds[i] = entry
+	nd.addN++
+	return nd
+}
+
+// withDelete returns a copy of the state's delta with one element of key k
+// removed, or ok=false when no live element with key k exists. A pending
+// insert is consumed first; otherwise one more base match is tombstoned.
+func (st *ostate[K, V]) withDelete(k K) (*odelta[K, V], bool) {
+	d := st.delta
+	i, found := d.find(k)
+	if found && len(d.adds[i]) > 0 {
+		if len(d.adds[i]) == 1 && d.dels[i] == 0 {
+			return d.without(i), true
+		}
+		nd := d.clone(i, false)
+		nd.adds[i] = append([]V(nil), nd.adds[i][:len(nd.adds[i])-1]...)
+		nd.addN--
+		return nd, true
+	}
+	skip := 0
+	if found {
+		skip = d.dels[i]
+	}
+	// At least skip+1 base matches must exist for a survivor to remain.
+	n := 0
+	st.tree.Each(k, func(V) bool {
+		n++
+		return n <= skip
+	})
+	if n <= skip {
+		return nil, false
+	}
+	nd := d.clone(i, !found)
+	nd.keys[i] = k
+	nd.dels[i]++
+	nd.delN++
+	return nd, true
+}
+
+// clone copies the delta's spine (nil-safe). When insert is set, a zero
+// entry is opened at index i; the caller fills it in.
+func (d *odelta[K, V]) clone(i int, insert bool) *odelta[K, V] {
+	n := 0
+	if d != nil {
+		n = len(d.keys)
+	}
+	grow := 0
+	if insert {
+		grow = 1
+	}
+	nd := &odelta[K, V]{
+		keys: make([]K, n+grow),
+		adds: make([][]V, n+grow),
+		dels: make([]int, n+grow),
+	}
+	if d != nil {
+		nd.addN, nd.delN = d.addN, d.delN
+		copy(nd.keys[:i], d.keys[:i])
+		copy(nd.adds[:i], d.adds[:i])
+		copy(nd.dels[:i], d.dels[:i])
+		copy(nd.keys[i+grow:], d.keys[i:])
+		copy(nd.adds[i+grow:], d.adds[i:])
+		copy(nd.dels[i+grow:], d.dels[i:])
+	}
+	return nd
+}
+
+// without returns a copy of the delta with entry i dropped (nil when that
+// was the last entry).
+func (d *odelta[K, V]) without(i int) *odelta[K, V] {
+	if len(d.keys) == 1 {
+		return nil
+	}
+	nd := &odelta[K, V]{
+		keys: make([]K, len(d.keys)-1),
+		adds: make([][]V, len(d.adds)-1),
+		dels: make([]int, len(d.dels)-1),
+		addN: d.addN - len(d.adds[i]),
+		delN: d.delN - d.dels[i],
+	}
+	copy(nd.keys, d.keys[:i])
+	copy(nd.adds, d.adds[:i])
+	copy(nd.dels, d.dels[:i])
+	copy(nd.keys[i:], d.keys[i+1:])
+	copy(nd.adds[i:], d.adds[i+1:])
+	copy(nd.dels[i:], d.dels[i+1:])
+	return nd
+}
+
+// lowerBound returns the index of the first key >= k in a sorted slice.
+func lowerBound[K Key](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
