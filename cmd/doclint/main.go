@@ -1,0 +1,105 @@
+// Command doclint checks that every exported top-level identifier in the
+// given package directories carries a doc comment. It is the repository's
+// documentation gate (run by CI over the public API and internal/core):
+//
+//	go run ./cmd/doclint . ./internal/core
+//
+// A declaration is considered documented if the declaration group or the
+// individual spec has a doc comment, or (for single-line const/var specs)
+// a trailing line comment. Test files are skipped. The exit status is
+// non-zero if any exported identifier is undocumented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package dir> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test Go file in dir and reports undocumented
+// exported declarations, returning how many it found.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	report := func(pos token.Pos, what, name string) {
+		fmt.Printf("%s: undocumented exported %s %s\n", fset.Position(pos), what, name)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+									report(n.Pos(), "const/var", n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedRecv reports whether a function is package-level or a method on
+// an exported type; methods on unexported types are not part of the
+// documented surface.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[K]
+			t = x.X
+		case *ast.IndexListExpr: // generic receiver T[K, V]
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -16,26 +16,17 @@ type snapshotHeader struct {
 	Options  Options
 }
 
-// Encode writes a snapshot of the tree to w: its options followed by every
-// element in key order. Buffered inserts are folded into the stream, so
-// decoding re-bulk-loads a clean, fully segmented tree with the same
-// contents and options.
-func Encode[K Key, V any](t *Tree[K, V], w io.Writer) error {
+// encodeSnapshot writes the common stream format: a header followed by the
+// elements in key order.
+func encodeSnapshot[K Key, V any](w io.Writer, opts Options, keys []K, vals []V) error {
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(snapshotHeader{
 		Version:  snapshotVersion,
-		Elements: t.Len(),
-		Options:  t.Options(),
+		Elements: len(keys),
+		Options:  opts,
 	}); err != nil {
 		return fmt.Errorf("fitingtree: encode header: %w", err)
 	}
-	keys := make([]K, 0, t.Len())
-	vals := make([]V, 0, t.Len())
-	t.Ascend(func(k K, v V) bool {
-		keys = append(keys, k)
-		vals = append(vals, v)
-		return true
-	})
 	if err := enc.Encode(keys); err != nil {
 		return fmt.Errorf("fitingtree: encode keys: %w", err)
 	}
@@ -45,8 +36,64 @@ func Encode[K Key, V any](t *Tree[K, V], w io.Writer) error {
 	return nil
 }
 
-// Decode reads a snapshot produced by Encode and bulk-loads a tree from
-// it.
+// Encode writes a snapshot of the tree to w: its options followed by every
+// element in key order. Buffered inserts are folded into the stream, so
+// decoding re-bulk-loads a clean, fully segmented tree with the same
+// contents and options.
+func Encode[K Key, V any](t *Tree[K, V], w io.Writer) error {
+	keys := make([]K, 0, t.Len())
+	vals := make([]V, 0, t.Len())
+	t.Ascend(func(k K, v V) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	return encodeSnapshot(w, t.Options(), keys, vals)
+}
+
+// EncodeOptimistic writes a snapshot of the facade's currently published
+// state to w. A state is an immutable value, so one atomic load yields a
+// consistent cut of the whole index without blocking writers or readers:
+// writes published after the call starts are simply not part of the
+// snapshot. Pending delta writes (inserts and tombstones) are folded into
+// the stream, and the format matches Encode's, so the result decodes with
+// either Decode (as a bare Tree) or DecodeOptimistic.
+func EncodeOptimistic[K Key, V any](o *Optimistic[K, V], w io.Writer) error {
+	st := o.state.Load()
+	keys := make([]K, 0, st.size)
+	vals := make([]V, 0, st.size)
+	if lo, hi, ok := st.bounds(); ok {
+		st.ascendRange(lo, hi, func(k K, v V) bool {
+			keys = append(keys, k)
+			vals = append(vals, v)
+			return true
+		})
+	}
+	return encodeSnapshot(w, st.tree.Options(), keys, vals)
+}
+
+// bounds returns the smallest and largest key across the base tree and the
+// delta, reporting false when the state is empty.
+func (st *ostate[K, V]) bounds() (lo, hi K, ok bool) {
+	if st.tree.Len() > 0 {
+		lo, _, _ = st.tree.Min()
+		hi, _, _ = st.tree.Max()
+		ok = true
+	}
+	if d := st.delta; d != nil && len(d.keys) > 0 {
+		if !ok || d.keys[0] < lo {
+			lo = d.keys[0]
+		}
+		if !ok || d.keys[len(d.keys)-1] > hi {
+			hi = d.keys[len(d.keys)-1]
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+// Decode reads a snapshot produced by Encode or EncodeOptimistic and
+// bulk-loads a tree from it.
 func Decode[K Key, V any](r io.Reader) (*Tree[K, V], error) {
 	dec := gob.NewDecoder(r)
 	var h snapshotHeader
@@ -73,4 +120,15 @@ func Decode[K Key, V any](r io.Reader) (*Tree[K, V], error) {
 		return nil, fmt.Errorf("fitingtree: rebuild: %w", err)
 	}
 	return t, nil
+}
+
+// DecodeOptimistic reads a snapshot produced by Encode or EncodeOptimistic
+// and returns a fresh Optimistic facade over the rebuilt tree, with an
+// empty delta.
+func DecodeOptimistic[K Key, V any](r io.Reader) (*Optimistic[K, V], error) {
+	t, err := Decode[K, V](r)
+	if err != nil {
+		return nil, err
+	}
+	return NewOptimistic(t), nil
 }

@@ -1,0 +1,81 @@
+package fitingtree_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"fitingtree"
+)
+
+// ExampleOptimistic shows the latch-free facade's full write lifecycle:
+// lookups against the published state, inserts into the delta, and the
+// copy-on-write flush that folds the delta into the base tree.
+func ExampleOptimistic() {
+	keys := []uint64{10, 20, 30, 40, 50}
+	vals := []string{"a", "b", "c", "d", "e"}
+	tr, _ := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 16, BufferSize: 4})
+
+	idx := fitingtree.NewOptimistic(tr)
+	idx.SetFlushEvery(2) // fold the delta into the tree every 2 writes
+
+	v, ok := idx.Lookup(30) // latch-free read of the published state
+	fmt.Println(v, ok)
+
+	idx.Insert(35, "f") // 1st write: pending in the delta, already visible
+	fmt.Println(idx.Lookup(35))
+
+	idx.Insert(45, "g") // 2nd write: triggers the page-granular COW flush
+	fmt.Println(idx.Lookup(45))
+	fmt.Println(idx.Len())
+	// Output:
+	// c true
+	// f true
+	// g true
+	// 7
+}
+
+// ExampleOptimistic_Delete demonstrates the documented duplicate
+// semantics: pending inserts are consumed first, then tombstones remove
+// the first matches in scan order.
+func ExampleOptimistic_Delete() {
+	keys := []uint64{7, 7, 7}
+	vals := []string{"first", "second", "third"}
+	tr, _ := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 16})
+
+	idx := fitingtree.NewOptimistic(tr)
+	idx.Insert(7, "pending")
+
+	idx.Delete(7) // consumes the pending insert
+	idx.Delete(7) // tombstones "first", the first match in scan order
+	idx.Each(7, func(v string) bool {
+		fmt.Println(v)
+		return true
+	})
+	// Output:
+	// second
+	// third
+}
+
+// ExampleEncodeOptimistic snapshots a facade without blocking its writers:
+// the published state is immutable, so one atomic load is a consistent
+// cut, pending delta writes included.
+func ExampleEncodeOptimistic() {
+	tr, _ := fitingtree.BulkLoad([]uint64{1, 2, 3}, []string{"x", "y", "z"},
+		fitingtree.Options{Error: 16})
+	idx := fitingtree.NewOptimistic(tr)
+	idx.Insert(4, "w") // stays in the delta; still part of the snapshot
+
+	var buf bytes.Buffer
+	if err := fitingtree.EncodeOptimistic(idx, &buf); err != nil {
+		panic(err)
+	}
+	restored, err := fitingtree.DecodeOptimistic[uint64, string](&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(restored.Len())
+	fmt.Println(restored.Lookup(4))
+	// Output:
+	// 4
+	// w true
+}

@@ -32,8 +32,20 @@
 // with BuildSecondary; it stores sorted (key, row id) postings subject to
 // the same error-bounded segmentation.
 //
-// Wrap a tree in NewConcurrent for a reader/writer-safe facade, and use
-// Encode/Decode to snapshot a tree to and from a stream.
+// # Concurrency and snapshots
+//
+// Two facades wrap a Tree for shared use. NewConcurrent is a plain
+// RWMutex reader/writer facade. NewOptimistic provides latch-free reads
+// under a single writer: every write publishes an immutable state (base
+// tree + pending-write delta) through an atomic pointer, and a full delta
+// is flushed with a page-granular copy-on-write merge that rebuilds only
+// the pages the delta touches. Use Encode/Decode to snapshot a tree to
+// and from a stream, and EncodeOptimistic/DecodeOptimistic to snapshot a
+// live Optimistic facade without blocking its writers.
+//
+// docs/ARCHITECTURE.md in the repository describes the layer map, the
+// snapshot+delta read protocol, the copy-on-write flush, and the
+// invariants in detail.
 package fitingtree
 
 import (

@@ -397,6 +397,28 @@ func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
 	}
 }
 
+// MutateDescend visits every key/value pair in descending key order,
+// replacing the stored value with the one fn returns, and stops after the
+// first pair for which fn reports false (that pair's returned value is
+// still stored). The FITing-Tree segment router uses it to renumber a
+// suffix of page positions after a splice without one descent per entry.
+func (t *Tree[K, V]) MutateDescend(fn func(k K, v V) (V, bool)) {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	for n != nil {
+		for i := len(n.keys) - 1; i >= 0; i-- {
+			nv, cont := fn(n.keys[i], n.vals[i])
+			n.vals[i] = nv
+			if !cont {
+				return
+			}
+		}
+		n = n.prev
+	}
+}
+
 // AscendRange calls fn for every pair with lo <= key <= hi in ascending
 // order, stopping early if fn returns false.
 func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {

@@ -2,10 +2,10 @@ package core
 
 import "fitingtree/internal/num"
 
-// maxChainWalk bounds how many pages LookupBatch follows along the chain
+// maxChainWalk bounds how many pages LookupBatch advances along the chain
 // before falling back to a fresh router descent: consecutive sorted probes
 // usually land on the same or an adjacent page, but a large key gap is
-// cheaper to cross through the router than one pointer hop at a time.
+// cheaper to cross through the router than one position at a time.
 const maxChainWalk = 16
 
 // LookupBatch performs Lookup for every element of keys and returns values
@@ -18,45 +18,45 @@ const maxChainWalk = 16
 func (t *Tree[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	vals := make([]V, len(keys))
 	found := make([]bool, len(keys))
-	if len(keys) == 0 || t.first == nil {
+	if len(keys) == 0 || len(t.chain) == 0 {
 		return vals, found
 	}
 	order := probeOrder(keys) // nil when keys are already ascending
 
-	var p *page[K, V] // candidate page left by the previous (smaller) probe
+	pos := -1 // candidate position left by the previous (smaller) probe
 	for n := range keys {
 		oi := n
 		if order != nil {
 			oi = int(order[n])
 		}
 		k := keys[oi]
-		if p == nil {
-			p = t.firstCandidate(k)
+		if pos < 0 {
+			pos = t.firstCandidate(k)
 		} else {
 			// Probes ascend, so the owning page can only move forward.
 			for i := 0; ; i++ {
-				if p.next == nil || p.next.start() > k {
+				if pos+1 == len(t.chain) || t.chain[pos+1].start() > k {
 					break
 				}
 				if i == maxChainWalk {
-					p = t.locate(k)
+					pos = t.locate(k)
 					break
 				}
-				p = p.next
+				pos++
 			}
 			// Duplicate runs can spill keys equal to k into the tails of
 			// preceding pages (see firstCandidate).
-			for p.prev != nil && p.prev.lastKey() >= k {
-				p = p.prev
+			for pos > 0 && t.chain[pos-1].lastKey() >= k {
+				pos--
 			}
 		}
 		// Search forward across the equal-start run, like Lookup.
-		for q := p; q != nil; q = q.next {
-			if v, ok := t.searchPage(q, k); ok {
+		for q := pos; q < len(t.chain); q++ {
+			if v, ok := t.searchPage(t.chain[q], k); ok {
 				vals[oi], found[oi] = v, true
 				break
 			}
-			if q.next == nil || q.next.start() > k {
+			if q+1 == len(t.chain) || t.chain[q+1].start() > k {
 				break
 			}
 		}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"fitingtree/internal/num"
+	"fitingtree/internal/segment"
+)
+
+// MergeOp describes the pending writes for one key in a copy-on-write
+// merge. Adds holds values to insert under Key, in insertion order. Dels
+// tombstones the first Dels live matches for Key in scan order — page
+// order along the chain, data before buffer within a page — the same
+// "first N matches" semantics the Optimistic facade's delta applies to
+// reads (see Optimistic.Delete).
+type MergeOp[K num.Key, V any] struct {
+	Key  K
+	Adds []V
+	Dels int
+}
+
+// MergeCOW folds ops — which must be sorted by strictly ascending Key —
+// into the tree copy-on-write: it returns a new tree in which only the
+// pages some op's key falls into are rebuilt (merged with the pending
+// writes and re-segmented under the same error bound) while every
+// untouched page is shared, by reference, with the receiver. The receiver
+// is not modified and both trees remain fully readable afterwards; shared
+// pages must not be mutated through either tree, so the result is meant
+// for publication-style use (see the Optimistic facade, whose flush this
+// implements).
+//
+// Because segments partition the key space, a batch of d pending writes
+// touches at most O(d) pages regardless of tree size: the merge costs
+// O(pages touched · page size + adds + segments) instead of the O(n) a
+// whole-tree rebuild pays, which is what makes flushing a small delta into
+// a large tree cheap.
+func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
+	for i := range ops {
+		if ops[i].Key != ops[i].Key {
+			panic("fitingtree: MergeCOW with NaN key")
+		}
+		if i > 0 && ops[i].Key <= ops[i-1].Key {
+			panic("fitingtree: MergeCOW ops not sorted by strictly ascending key")
+		}
+	}
+	nt := &Tree[K, V]{
+		opts:     t.opts,
+		segErr:   t.segErr,
+		strat:    t.strat,
+		counters: t.counters,
+	}
+	nt.initRouter(t.opts)
+
+	addN := 0
+	for _, op := range ops {
+		addN += len(op.Adds)
+	}
+	deleted := 0
+
+	if len(t.chain) == 0 {
+		// Bootstrap: no pages to merge with, the content is the adds alone
+		// (tombstones cannot outnumber zero base matches).
+		keys := make([]K, 0, addN)
+		vals := make([]V, 0, addN)
+		for _, op := range ops {
+			for _, v := range op.Adds {
+				keys = append(keys, op.Key)
+				vals = append(vals, v)
+			}
+		}
+		nt.chain = t.buildPages(keys, vals, &nt.counters)
+	} else {
+		ivs := t.dirtyIntervals(ops)
+		newChain := make([]*page[K, V], 0, len(t.chain)+len(ivs))
+		next := 0 // next untouched page to share with the parent tree
+		for _, iv := range ivs {
+			newChain = append(newChain, t.chain[next:iv.lo]...)
+			keys, vals, d := t.mergeRegion(iv.lo, iv.hi, ops[iv.opLo:iv.opHi])
+			deleted += d
+			newChain = append(newChain, t.buildPages(keys, vals, &nt.counters)...)
+			next = iv.hi + 1
+		}
+		newChain = append(newChain, t.chain[next:]...)
+		nt.chain = newChain
+	}
+
+	nt.counters.Inserts += addN
+	nt.counters.Deletes += deleted
+	nt.size = t.size + addN - deleted
+	rk, rp := routedEntries(nt.chain)
+	if err := nt.idx.bulkLoad(rk, rp, t.opts.FillFactor); err != nil {
+		// Unreachable: the chain is key-ordered, so routed start keys are
+		// strictly ascending.
+		panic(fmt.Sprintf("fitingtree: MergeCOW router rebuild: %v", err))
+	}
+	return nt
+}
+
+// buildPages re-segments a sorted merged run into fresh pages, counting the
+// work in ctr. The run's backing arrays are shared by sub-slicing, as in
+// merge.
+func (t *Tree[K, V]) buildPages(keys []K, vals []V, ctr *Counters) []*page[K, V] {
+	if len(keys) == 0 {
+		return nil
+	}
+	segs := segment.ShrinkingCone(keys, t.opts.segError())
+	ctr.Merges++
+	ctr.PagesMade += len(segs)
+	pages := make([]*page[K, V], len(segs))
+	for i, s := range segs {
+		pages[i] = newPage(
+			segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
+			keys[s.StartPos:s.EndPos():s.EndPos()],
+			vals[s.StartPos:s.EndPos():s.EndPos()],
+		)
+	}
+	return pages
+}
+
+// cowInterval is a maximal dirty run of chain positions [lo, hi] together
+// with the ops [opLo, opHi) whose keys fall into it.
+type cowInterval struct {
+	lo, hi     int
+	opLo, opHi int
+}
+
+// dirtyIntervals maps each op to the chain positions it touches and
+// coalesces overlapping ranges. An op that only inserts touches the page
+// the key routes to (the page Insert would buffer it in) through the end
+// of the key's equal-start run, so its adds land after every base match of
+// the key; an op with tombstones additionally reaches back to the first
+// candidate page, because "first Dels matches in scan order" is a property
+// of the whole run, duplicate spill included.
+func (t *Tree[K, V]) dirtyIntervals(ops []MergeOp[K, V]) []cowInterval {
+	var ivs []cowInterval
+	for oi, op := range ops {
+		k := op.Key
+		var lo int
+		if op.Dels > 0 {
+			lo = t.firstCandidate(k)
+		} else {
+			lo = t.insertPos(k)
+		}
+		// Adds sort after every base match of k, and matches can continue
+		// through the key's equal-start run, so the region always extends
+		// to the run's last page.
+		hi := lo
+		for hi+1 < len(t.chain) && t.chain[hi+1].start() <= k {
+			hi++
+		}
+		iv := cowInterval{lo: lo, hi: hi, opLo: oi, opHi: oi + 1}
+		// Coalesce with earlier intervals. Ops ascend by key so interval
+		// ends ascend too, but a tombstone's first-candidate walk can reach
+		// left of an earlier interval, so merging may cascade.
+		for n := len(ivs); n > 0 && iv.lo <= ivs[n-1].hi; n = len(ivs) {
+			prev := ivs[n-1]
+			ivs = ivs[:n-1]
+			if prev.lo < iv.lo {
+				iv.lo = prev.lo
+			}
+			if prev.hi > iv.hi {
+				iv.hi = prev.hi
+			}
+			iv.opLo = prev.opLo
+		}
+		ivs = append(ivs, iv)
+	}
+	return ivs
+}
+
+// mergeRegion merges the content of chain[lo..hi] with ops into one sorted
+// run, applying tombstones as it goes, and reports how many elements the
+// tombstones removed. Ties keep the read order the Optimistic facade
+// promises: surviving base matches (scan order) first, then pending adds in
+// insertion order.
+func (t *Tree[K, V]) mergeRegion(lo, hi int, ops []MergeOp[K, V]) ([]K, []V, int) {
+	total := 0
+	for i := lo; i <= hi; i++ {
+		total += len(t.chain[i].keys) + len(t.chain[i].bufKeys)
+	}
+	addN := 0
+	for _, op := range ops {
+		addN += len(op.Adds)
+	}
+	keys := make([]K, 0, total+addN)
+	vals := make([]V, 0, total+addN)
+	rem := make([]int, len(ops)) // tombstones left to apply, per op
+	for i, op := range ops {
+		rem[i] = op.Dels
+	}
+	deleted := 0
+	oi := 0
+	for pi := lo; pi <= hi; pi++ {
+		p := t.chain[pi]
+		i, j := 0, 0
+		for i < len(p.keys) || j < len(p.bufKeys) {
+			useData := j >= len(p.bufKeys) ||
+				(i < len(p.keys) && p.keys[i] <= p.bufKeys[j])
+			var bk K
+			var bv V
+			if useData {
+				bk, bv = p.keys[i], p.vals[i]
+				i++
+			} else {
+				bk, bv = p.bufKeys[j], p.bufVals[j]
+				j++
+			}
+			// Adds sort after every base match of the same key, so flush
+			// only the ops whose key the base run has moved past.
+			for oi < len(ops) && ops[oi].Key < bk {
+				for _, v := range ops[oi].Adds {
+					keys = append(keys, ops[oi].Key)
+					vals = append(vals, v)
+				}
+				oi++
+			}
+			if oi < len(ops) && ops[oi].Key == bk && rem[oi] > 0 {
+				rem[oi]--
+				deleted++
+				continue
+			}
+			keys = append(keys, bk)
+			vals = append(vals, bv)
+		}
+	}
+	for ; oi < len(ops); oi++ {
+		for _, v := range ops[oi].Adds {
+			keys = append(keys, ops[oi].Key)
+			vals = append(vals, v)
+		}
+	}
+	return keys, vals, deleted
+}

@@ -15,32 +15,39 @@ func (t *Tree[K, V]) Insert(k K, v V) {
 	}
 	t.counters.Inserts++
 	t.size++
-	p := t.locate(k)
-	if p == nil {
+	pos := t.insertPos(k)
+	if pos < 0 {
 		// Empty tree: create the initial page.
-		p = &page[K, V]{
-			seg:    segment.Segment[K]{Start: k, Count: 1, Slope: 0},
-			keys:   []K{k},
-			vals:   []V{v},
-			inTree: true,
-		}
-		t.first = p
-		t.idx.insert(k, p)
+		t.chain = []*page[K, V]{newPage(
+			segment.Segment[K]{Start: k, Count: 1, Slope: 0}, []K{k}, []V{v},
+		)}
+		t.idx.insert(k, 0)
 		return
 	}
-	// The inner tree routes to the first page of an equal-start run; the
-	// key may belong to a later page of the run (or to the page covering
-	// the gap after it), so advance to the last page whose routing key
-	// precedes k.
-	for p.next != nil && p.next.start() < k {
-		p = p.next
-	}
+	p := t.chain[pos]
 	i, _ := findKey(p.bufKeys, k)
 	p.bufKeys = insertAt(p.bufKeys, i, k)
 	p.bufVals = insertAt(p.bufVals, i, v)
 	if len(p.bufKeys) >= num.MaxInt(1, t.opts.BufferSize) {
-		t.merge(p)
+		t.merge(pos)
 	}
+}
+
+// insertPos returns the chain position Insert buffers k into, or -1 for an
+// empty tree. The router maps to the first page of an equal-start run; the
+// key may belong to a later page of the run (or to the page covering the
+// gap after it), so advance to the last page whose routing key precedes k.
+// MergeCOW opens its dirty regions with the same rule, so buffered and
+// flushed placement of a key cannot drift apart.
+func (t *Tree[K, V]) insertPos(k K) int {
+	pos := t.locate(k)
+	if pos < 0 {
+		return -1
+	}
+	for pos+1 < len(t.chain) && t.chain[pos+1].start() < k {
+		pos++
+	}
+	return pos
 }
 
 // Delete removes one element with key k and reports whether one was found.
@@ -56,13 +63,14 @@ func (t *Tree[K, V]) Delete(k K) bool {
 // pred, reporting whether one was removed. It lets callers disambiguate
 // duplicates (e.g. a secondary index deleting one specific row posting).
 func (t *Tree[K, V]) DeleteWhere(k K, pred func(V) bool) bool {
-	for p := t.firstCandidate(k); p != nil; p = p.next {
+	for pos := t.firstCandidate(k); pos >= 0 && pos < len(t.chain); pos++ {
+		p := t.chain[pos]
 		if i, ok := findKey(p.bufKeys, k); ok {
 			for j := i; j < len(p.bufKeys) && p.bufKeys[j] == k; j++ {
 				if pred(p.bufVals[j]) {
 					p.bufKeys = removeAt(p.bufKeys, j)
 					p.bufVals = removeAt(p.bufVals, j)
-					t.afterDelete(p)
+					t.afterDelete(pos)
 					return true
 				}
 			}
@@ -75,42 +83,74 @@ func (t *Tree[K, V]) DeleteWhere(k K, pred func(V) bool) bool {
 					p.keys = removeAt(p.keys, j)
 					p.vals = removeAt(p.vals, j)
 					p.deletes++
-					t.afterDelete(p)
+					t.afterDelete(pos)
 					return true
 				}
 			}
 		}
-		if p.next == nil || p.next.start() > k {
+		if pos+1 == len(t.chain) || t.chain[pos+1].start() > k {
 			return false
 		}
 	}
 	return false
 }
 
-// afterDelete updates accounting and re-segments or drops the page when
-// deletions have eroded it.
-func (t *Tree[K, V]) afterDelete(p *page[K, V]) {
+// afterDelete updates accounting and re-segments or drops the page at pos
+// when deletions have eroded it.
+func (t *Tree[K, V]) afterDelete(pos int) {
 	t.counters.Deletes++
 	t.size--
+	p := t.chain[pos]
 	if len(p.keys) == 0 && len(p.bufKeys) == 0 {
-		t.removePage(p)
+		t.removePage(pos)
 		return
 	}
 	// Bound the window widening: once deletions match the buffer budget,
 	// rebuild the page's model.
 	if p.deletes > 0 && p.deletes+len(p.bufKeys) > num.MaxInt(1, t.opts.BufferSize) {
-		t.merge(p)
+		t.merge(pos)
 	}
 }
 
-// merge combines a page's data and buffer into one sorted run, re-segments
-// it with the bulk-loading algorithm, and splices the resulting page(s)
-// into the tree in place of p (Algorithm 4 lines 5-9).
-func (t *Tree[K, V]) merge(p *page[K, V]) {
+// splice replaces removed pages of the chain at pos with the given pages
+// and renumbers the routing entries of every page past the spliced region.
+// Routing entries inside the region must be deleted (and the replacements
+// inserted) by the caller.
+//
+// The linked-list leaf level this slice replaced spliced in O(1); here a
+// page-count-changing splice moves the chain tail (memmove of pointers,
+// in place — no reallocation once capacity has grown) and renumbers the
+// router suffix. That is O(pages after pos), paid only on the minority of
+// merges whose re-segmentation changes the page count — the price of a
+// leaf level whose pages are shareable values (see MergeCOW).
+func (t *Tree[K, V]) splice(pos, removed int, pages []*page[K, V]) {
+	delta := len(pages) - removed
+	switch {
+	case delta == 0:
+		copy(t.chain[pos:], pages)
+		return
+	case delta < 0:
+		copy(t.chain[pos:], pages)
+		copy(t.chain[pos+len(pages):], t.chain[pos+removed:])
+		clear(t.chain[len(t.chain)+delta:]) // release dropped page refs
+		t.chain = t.chain[:len(t.chain)+delta]
+	default:
+		t.chain = append(t.chain, make([]*page[K, V], delta)...)
+		copy(t.chain[pos+len(pages):], t.chain[pos+removed:len(t.chain)-delta])
+		copy(t.chain[pos:], pages)
+	}
+	t.idx.shift(pos+removed, delta)
+}
+
+// merge combines the page at pos with its buffer into one sorted run,
+// re-segments it with the bulk-loading algorithm, and splices the resulting
+// page(s) into the chain in place of it (Algorithm 4 lines 5-9).
+func (t *Tree[K, V]) merge(pos int) {
 	t.counters.Merges++
+	p := t.chain[pos]
 	mergedKeys, mergedVals := mergeSorted(p.keys, p.vals, p.bufKeys, p.bufVals)
 	if len(mergedKeys) == 0 {
-		t.removePage(p)
+		t.removePage(pos)
 		return
 	}
 	segs := segment.ShrinkingCone(mergedKeys, t.opts.segError())
@@ -118,76 +158,49 @@ func (t *Tree[K, V]) merge(p *page[K, V]) {
 
 	pages := make([]*page[K, V], len(segs))
 	for i, s := range segs {
-		pages[i] = &page[K, V]{
-			seg: segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
+		pages[i] = newPage(
+			segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
 			// Sub-slicing the merged run is safe: pages never grow their
 			// data in place, and in-place deletions stay within a page's
 			// own window of the backing array.
-			keys: mergedKeys[s.StartPos:s.EndPos():s.EndPos()],
-			vals: mergedVals[s.StartPos:s.EndPos():s.EndPos()],
-		}
-		if i > 0 {
-			pages[i-1].next = pages[i]
-			pages[i].prev = pages[i-1]
-		}
+			mergedKeys[s.StartPos:s.EndPos():s.EndPos()],
+			mergedVals[s.StartPos:s.EndPos():s.EndPos()],
+		)
 	}
 
-	// Splice the new pages into the chain in place of p.
-	prevP, nextP := p.prev, p.next
-	headNew, tailNew := pages[0], pages[len(pages)-1]
-	if prevP == nil {
-		t.first = headNew
-	} else {
-		prevP.next = headNew
-		headNew.prev = prevP
-	}
-	tailNew.next = nextP
-	if nextP != nil {
-		nextP.prev = tailNew
-	}
-
-	// Update the inner tree. A page is routed iff its start key differs
-	// from its chain predecessor's; p itself may be an unrouted member of
-	// an equal-start run (deletes and dup-chain inserts can merge those).
-	if p.inTree {
+	// A page is routed iff its start key differs from its chain
+	// predecessor's; p itself may be an unrouted member of an equal-start
+	// run (deletes and dup-chain inserts can merge those).
+	if t.routed(pos) {
 		t.idx.delete(p.start())
 	}
+	t.splice(pos, 1, pages)
 	for i, np := range pages {
-		pred := prevP
-		if i > 0 {
-			pred = pages[i-1]
-		}
-		if pred != nil && pred.start() == np.start() {
+		at := pos + i
+		if at > 0 && t.chain[at-1].start() == np.start() {
 			continue // equal-start run: only its first page is routed
 		}
-		np.inTree = true
-		if t.idx.insert(np.start(), np) && nextP != nil && nextP.start() == np.start() {
-			// The new page displaced the routing entry of the next
-			// existing page (equal start keys); it is now chain-reachable
-			// only.
-			nextP.inTree = false
-		}
+		// The insert may displace the routing entry of the next existing
+		// page (equal start keys); that page then becomes chain-reachable
+		// only, which the derived routedness reflects automatically.
+		t.idx.insert(np.start(), at)
 	}
 }
 
-// removePage splices an empty page out of the chain and the inner tree,
-// promoting the next page of an equal-start run into the tree if needed.
-func (t *Tree[K, V]) removePage(p *page[K, V]) {
-	prevP, nextP := p.prev, p.next
-	if prevP == nil {
-		t.first = nextP
-	} else {
-		prevP.next = nextP
-	}
-	if nextP != nil {
-		nextP.prev = prevP
-	}
-	if p.inTree {
+// removePage splices an empty page out of the chain and the router,
+// promoting the next page of an equal-start run into the router if needed.
+func (t *Tree[K, V]) removePage(pos int) {
+	p := t.chain[pos]
+	wasRouted := t.routed(pos)
+	if wasRouted {
 		t.idx.delete(p.start())
-		if nextP != nil && !nextP.inTree && (prevP == nil || prevP.start() != nextP.start()) {
-			nextP.inTree = true
-			t.idx.insert(nextP.start(), nextP)
-		}
+	}
+	t.splice(pos, 1, nil)
+	if wasRouted && pos < len(t.chain) && t.chain[pos].start() == p.start() {
+		// The removed page headed an equal-start run; promote its
+		// successor, which now heads the run at the removed page's old
+		// position.
+		t.idx.insert(p.start(), pos)
 	}
 }
 

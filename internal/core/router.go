@@ -27,19 +27,24 @@ const (
 	RouterImplicit
 )
 
-// router is the internal index from segment start keys to pages. Both
-// implementations store at most one entry per key (equal-start page runs
-// register only their first page; see the page-chain invariant).
-type router[K num.Key, V any] interface {
-	floor(k K) (*page[K, V], bool)
-	get(k K) (*page[K, V], bool)
-	max() (*page[K, V], bool)
-	// insert registers p under k, reporting whether an existing entry was
-	// replaced.
-	insert(k K, p *page[K, V]) bool
+// router is the internal index from segment start keys to page positions in
+// the tree's chain. Both implementations store at most one entry per key
+// (equal-start page runs register only their first page; see the page-chain
+// invariant), and because the chain is sorted the stored positions are
+// strictly increasing in key order — shift relies on that monotonicity.
+type router[K num.Key] interface {
+	floor(k K) (int, bool)
+	get(k K) (int, bool)
+	// insert registers position pos under k, reporting whether an existing
+	// entry was replaced.
+	insert(k K, pos int) bool
 	delete(k K) bool
+	// shift adds delta to every routed position >= minPos. Positions are
+	// strictly increasing in key order, so this is a suffix update; it is
+	// how a chain splice renumbers the pages past the spliced region.
+	shift(minPos, delta int)
 	len() int
-	bulkLoad(keys []K, pages []*page[K, V], fill float64) error
+	bulkLoad(keys []K, pos []int, fill float64) error
 	stats() btree.Stats
 	check() error
 }
@@ -47,46 +52,54 @@ type router[K num.Key, V any] interface {
 // btreeRouter adapts the B+ tree substrate to the router interface. Trees
 // install routers via initRouter, which also retains the concrete value so
 // the lookup hot path skips this interface.
-type btreeRouter[K num.Key, V any] struct {
-	tr *btree.Tree[K, *page[K, V]]
+type btreeRouter[K num.Key] struct {
+	tr *btree.Tree[K, int]
 }
 
-func (r *btreeRouter[K, V]) floor(k K) (*page[K, V], bool) {
+func (r *btreeRouter[K]) floor(k K) (int, bool) {
 	_, p, ok := r.tr.Floor(k)
 	return p, ok
 }
 
-func (r *btreeRouter[K, V]) get(k K) (*page[K, V], bool) { return r.tr.Get(k) }
+func (r *btreeRouter[K]) get(k K) (int, bool) { return r.tr.Get(k) }
 
-func (r *btreeRouter[K, V]) max() (*page[K, V], bool) {
-	_, p, ok := r.tr.Max()
-	return p, ok
+func (r *btreeRouter[K]) insert(k K, pos int) bool { return r.tr.Insert(k, pos) }
+func (r *btreeRouter[K]) delete(k K) bool          { return r.tr.Delete(k) }
+
+func (r *btreeRouter[K]) shift(minPos, delta int) {
+	// Positions are strictly increasing in key order, so the affected
+	// entries form a suffix: walk leaves from the largest key down and stop
+	// at the first entry below minPos.
+	r.tr.MutateDescend(func(_ K, pos int) (int, bool) {
+		if pos < minPos {
+			return pos, false
+		}
+		return pos + delta, true
+	})
 }
 
-func (r *btreeRouter[K, V]) insert(k K, p *page[K, V]) bool { return r.tr.Insert(k, p) }
-func (r *btreeRouter[K, V]) delete(k K) bool                { return r.tr.Delete(k) }
-func (r *btreeRouter[K, V]) len() int                       { return r.tr.Len() }
+func (r *btreeRouter[K]) len() int { return r.tr.Len() }
 
-func (r *btreeRouter[K, V]) bulkLoad(keys []K, pages []*page[K, V], fill float64) error {
-	return r.tr.BulkLoad(keys, pages, fill)
+func (r *btreeRouter[K]) bulkLoad(keys []K, pos []int, fill float64) error {
+	return r.tr.BulkLoad(keys, pos, fill)
 }
 
-func (r *btreeRouter[K, V]) stats() btree.Stats { return r.tr.Stats() }
-func (r *btreeRouter[K, V]) check() error       { return r.tr.CheckInvariants() }
+func (r *btreeRouter[K]) stats() btree.Stats { return r.tr.Stats() }
+func (r *btreeRouter[K]) check() error       { return r.tr.CheckInvariants() }
 
 // implicitRouter keeps routing keys in a sorted array searched through an
 // Eytzinger (BFS) layout. Searches touch one cache line per level with a
 // predictable access pattern; structural mutations rebuild both arrays in
 // O(n), which is cheap because n is the number of segments, not keys.
-type implicitRouter[K num.Key, V any] struct {
-	keys  []K           // sorted
-	pages []*page[K, V] // parallel to keys
-	eytz  []K           // 1-based BFS layout of keys
-	perm  []int32       // eytz slot -> sorted index
+type implicitRouter[K num.Key] struct {
+	keys []K   // sorted
+	pos  []int // chain positions, parallel to keys (strictly increasing)
+	eytz []K   // 1-based BFS layout of keys
+	perm []int32
 }
 
 // rebuild derives the Eytzinger layout from the sorted arrays.
-func (r *implicitRouter[K, V]) rebuild() {
+func (r *implicitRouter[K]) rebuild() {
 	n := len(r.keys)
 	r.eytz = make([]K, n+1)
 	r.perm = make([]int32, n+1)
@@ -106,7 +119,7 @@ func (r *implicitRouter[K, V]) rebuild() {
 }
 
 // searchFloor returns the sorted index of the greatest key <= k, or -1.
-func (r *implicitRouter[K, V]) searchFloor(k K) int {
+func (r *implicitRouter[K]) searchFloor(k K) int {
 	n := len(r.keys)
 	if n == 0 {
 		return -1
@@ -126,58 +139,68 @@ func (r *implicitRouter[K, V]) searchFloor(k K) int {
 	return best
 }
 
-func (r *implicitRouter[K, V]) floor(k K) (*page[K, V], bool) {
+func (r *implicitRouter[K]) floor(k K) (int, bool) {
 	i := r.searchFloor(k)
 	if i < 0 {
-		return nil, false
+		return 0, false
 	}
-	return r.pages[i], true
+	return r.pos[i], true
 }
 
-func (r *implicitRouter[K, V]) get(k K) (*page[K, V], bool) {
+func (r *implicitRouter[K]) get(k K) (int, bool) {
 	i := r.searchFloor(k)
 	if i < 0 || r.keys[i] != k {
-		return nil, false
+		return 0, false
 	}
-	return r.pages[i], true
+	return r.pos[i], true
 }
 
-func (r *implicitRouter[K, V]) max() (*page[K, V], bool) {
-	if len(r.keys) == 0 {
-		return nil, false
-	}
-	return r.pages[len(r.pages)-1], true
-}
-
-func (r *implicitRouter[K, V]) insert(k K, p *page[K, V]) bool {
+func (r *implicitRouter[K]) insert(k K, pos int) bool {
 	i, found := findKey(r.keys, k)
 	if found {
-		r.pages[i] = p
+		r.pos[i] = pos
 		// Keys unchanged: the layout stays valid.
 		return true
 	}
 	r.keys = insertAt(r.keys, i, k)
-	r.pages = insertAt(r.pages, i, p)
+	r.pos = insertAt(r.pos, i, pos)
 	r.rebuild()
 	return false
 }
 
-func (r *implicitRouter[K, V]) delete(k K) bool {
+func (r *implicitRouter[K]) delete(k K) bool {
 	i, found := findKey(r.keys, k)
 	if !found {
 		return false
 	}
 	r.keys = removeAt(r.keys, i)
-	r.pages = removeAt(r.pages, i)
+	r.pos = removeAt(r.pos, i)
 	r.rebuild()
 	return true
 }
 
-func (r *implicitRouter[K, V]) len() int { return len(r.keys) }
+func (r *implicitRouter[K]) shift(minPos, delta int) {
+	// Positions are strictly increasing, so binary-search the suffix start.
+	lo, hi := 0, len(r.pos)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.pos[mid] < minPos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for ; lo < len(r.pos); lo++ {
+		r.pos[lo] += delta
+	}
+	// Keys unchanged: the layout stays valid.
+}
 
-func (r *implicitRouter[K, V]) bulkLoad(keys []K, pages []*page[K, V], fill float64) error {
-	if len(keys) != len(pages) {
-		return fmt.Errorf("router: %d keys but %d pages", len(keys), len(pages))
+func (r *implicitRouter[K]) len() int { return len(r.keys) }
+
+func (r *implicitRouter[K]) bulkLoad(keys []K, pos []int, fill float64) error {
+	if len(keys) != len(pos) {
+		return fmt.Errorf("router: %d keys but %d positions", len(keys), len(pos))
 	}
 	for i := 1; i < len(keys); i++ {
 		if keys[i] <= keys[i-1] {
@@ -185,12 +208,12 @@ func (r *implicitRouter[K, V]) bulkLoad(keys []K, pages []*page[K, V], fill floa
 		}
 	}
 	r.keys = append([]K(nil), keys...)
-	r.pages = append([]*page[K, V](nil), pages...)
+	r.pos = append([]int(nil), pos...)
 	r.rebuild()
 	return nil
 }
 
-func (r *implicitRouter[K, V]) stats() btree.Stats {
+func (r *implicitRouter[K]) stats() btree.Stats {
 	h := 0
 	for n := len(r.keys); n > 0; n >>= 1 {
 		h++
@@ -199,17 +222,20 @@ func (r *implicitRouter[K, V]) stats() btree.Stats {
 		Len:       len(r.keys),
 		Height:    num.MaxInt(1, h),
 		LeafNodes: 1,
-		SizeBytes: int64(len(r.keys)) * 16, // key + page pointer per entry
+		SizeBytes: int64(len(r.keys)) * 16, // key + position per entry
 	}
 }
 
-func (r *implicitRouter[K, V]) check() error {
-	if len(r.keys) != len(r.pages) {
-		return fmt.Errorf("router: keys/pages length mismatch")
+func (r *implicitRouter[K]) check() error {
+	if len(r.keys) != len(r.pos) {
+		return fmt.Errorf("router: keys/pos length mismatch")
 	}
 	for i := 1; i < len(r.keys); i++ {
 		if r.keys[i] <= r.keys[i-1] {
 			return fmt.Errorf("router: keys out of order at %d", i)
+		}
+		if r.pos[i] <= r.pos[i-1] {
+			return fmt.Errorf("router: positions out of order at %d", i)
 		}
 	}
 	if len(r.eytz) != len(r.keys)+1 {

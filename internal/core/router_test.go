@@ -136,12 +136,12 @@ func TestQuickImplicitFloor(t *testing.T) {
 			}
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		r := &implicitRouter[uint64, int]{}
-		pages := make([]*page[uint64, int], len(keys))
-		for i := range pages {
-			pages[i] = &page[uint64, int]{}
+		r := &implicitRouter[uint64]{}
+		pos := make([]int, len(keys))
+		for i := range pos {
+			pos[i] = i
 		}
-		if err := r.bulkLoad(keys, pages, 1); err != nil {
+		if err := r.bulkLoad(keys, pos, 1); err != nil {
 			return false
 		}
 		for _, pr := range probes {

@@ -76,16 +76,17 @@ func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 	if hi < lo {
 		return
 	}
-	p := t.locate(lo)
-	if p == nil {
+	pos := t.locate(lo)
+	if pos < 0 {
 		return
 	}
 	// Keys equal to lo can spill into preceding pages' tails when
 	// duplicate runs cross page boundaries.
-	for p.prev != nil && p.prev.lastKey() >= lo {
-		p = p.prev
+	for pos > 0 && t.chain[pos-1].lastKey() >= lo {
+		pos--
 	}
-	for ; p != nil; p = p.next {
+	for ; pos < len(t.chain); pos++ {
+		p := t.chain[pos]
 		if p.firstKey() > hi {
 			return
 		}
@@ -98,7 +99,7 @@ func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 // Ascend calls fn for every element in ascending key order, stopping early
 // if fn returns false.
 func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
-	for p := t.first; p != nil; p = p.next {
+	for _, p := range t.chain {
 		if !p.ascendPage(p.firstKey(), p.lastKey(), fn) {
 			return
 		}
@@ -156,16 +157,17 @@ func (t *Tree[K, V]) DescendRange(hi, lo K, fn func(k K, v V) bool) {
 	if hi < lo {
 		return
 	}
-	p := t.locate(hi)
-	if p == nil {
+	pos := t.locate(hi)
+	if pos < 0 {
 		return
 	}
 	// The page routed for hi is the last page whose routing key <= hi,
 	// but duplicate-run chains can continue past it with the same start.
-	for p.next != nil && p.next.start() <= hi {
-		p = p.next
+	for pos+1 < len(t.chain) && t.chain[pos+1].start() <= hi {
+		pos++
 	}
-	for ; p != nil; p = p.prev {
+	for ; pos >= 0; pos-- {
+		p := t.chain[pos]
 		if p.lastKey() < lo {
 			return
 		}
@@ -177,30 +179,26 @@ func (t *Tree[K, V]) DescendRange(hi, lo K, fn func(k K, v V) bool) {
 
 // Min returns the smallest key and one of its values.
 func (t *Tree[K, V]) Min() (K, V, bool) {
-	if t.first == nil {
+	if len(t.chain) == 0 {
 		var zk K
 		var zv V
 		return zk, zv, false
 	}
-	k := t.first.firstKey()
-	v, _ := t.searchPage(t.first, k)
+	p := t.chain[0]
+	k := p.firstKey()
+	v, _ := t.searchPage(p, k)
 	return k, v, true
 }
 
-// Max returns the largest key and one of its values.
+// Max returns the largest key and one of its values. The chain gives the
+// last page in O(1); no router descent is needed.
 func (t *Tree[K, V]) Max() (K, V, bool) {
-	var zk K
-	var zv V
-	if t.first == nil {
+	if len(t.chain) == 0 {
+		var zk K
+		var zv V
 		return zk, zv, false
 	}
-	p, ok := t.idx.max()
-	if !ok {
-		p = t.first
-	}
-	for p.next != nil {
-		p = p.next
-	}
+	p := t.chain[len(t.chain)-1]
 	k := p.lastKey()
 	v, _ := t.searchPage(p, k)
 	return k, v, true
@@ -211,20 +209,20 @@ func (t *Tree[K, V]) Max() (K, V, bool) {
 // search within the page. It drives the Figure 13 experiment.
 func (t *Tree[K, V]) LookupBreakdown(k K) (v V, ok bool, treeNs, pageNs int64) {
 	start := time.Now()
-	p := t.locate(k)
+	pos := t.locate(k)
 	treeNs = time.Since(start).Nanoseconds()
-	if p == nil {
+	if pos < 0 {
 		return v, false, treeNs, 0
 	}
 	start = time.Now()
-	for p.prev != nil && p.prev.lastKey() >= k {
-		p = p.prev
+	for pos > 0 && t.chain[pos-1].lastKey() >= k {
+		pos--
 	}
-	for ; p != nil; p = p.next {
-		if v, ok = t.searchPage(p, k); ok {
+	for ; pos < len(t.chain); pos++ {
+		if v, ok = t.searchPage(t.chain[pos], k); ok {
 			break
 		}
-		if p.next == nil || p.next.start() > k {
+		if pos+1 == len(t.chain) || t.chain[pos+1].start() > k {
 			break
 		}
 	}
@@ -246,11 +244,11 @@ type Stats struct {
 
 // Stats traverses the tree and returns its statistics. The IndexSize
 // accounting matches the paper's SIZE(e) cost model: the inner tree's keys
-// and pointers plus 24 bytes of metadata (start key, slope, page pointer)
+// and pointers plus 24 bytes of metadata (start key, slope, page position)
 // per segment.
 func (t *Tree[K, V]) Stats() Stats {
 	s := Stats{Elements: t.size}
-	for p := t.first; p != nil; p = p.next {
+	for _, p := range t.chain {
 		s.Pages++
 		s.Buffered += len(p.bufKeys)
 		s.Deletes += p.deletes
@@ -270,11 +268,10 @@ func (t *Tree[K, V]) CheckInvariants() error {
 	}
 	segErr := t.opts.segError()
 	count := 0
-	inTree := 0
-	var prev *page[K, V]
-	for p := t.first; p != nil; p = p.next {
-		if p.prev != prev {
-			return fmt.Errorf("fitingtree: broken back link at page starting %v", p.start())
+	routed := 0
+	for pi, p := range t.chain {
+		if p.id == 0 {
+			return fmt.Errorf("fitingtree: page %v has no identity", p.start())
 		}
 		if len(p.keys) == 0 && len(p.bufKeys) == 0 {
 			return fmt.Errorf("fitingtree: empty page at %v", p.start())
@@ -309,33 +306,37 @@ func (t *Tree[K, V]) CheckInvariants() error {
 			}
 		}
 		// Chain order and routing.
-		if prev != nil {
+		if pi > 0 {
+			prev := t.chain[pi-1]
 			if p.start() < prev.start() {
 				return fmt.Errorf("fitingtree: page starts out of order: %v after %v", p.start(), prev.start())
 			}
 			if prev.lastKey() > p.firstKey() {
 				return fmt.Errorf("fitingtree: overlapping pages around %v", p.start())
 			}
+			// Stronger separation: a page's content never passes the next
+			// page's routing key (equality is the duplicate-run spill).
+			// MergeCOW relies on this to bound a dirty region's content by
+			// the start key of the first untouched page after it.
+			if prev.lastKey() > p.start() {
+				return fmt.Errorf("fitingtree: page before %v holds keys past that start", p.start())
+			}
 		}
-		wantInTree := prev == nil || prev.start() != p.start()
-		if p.inTree != wantInTree {
-			return fmt.Errorf("fitingtree: page %v inTree=%v, want %v", p.start(), p.inTree, wantInTree)
-		}
-		if p.inTree {
-			inTree++
+		if t.routed(pi) {
+			routed++
 			got, ok := t.idx.get(p.start())
-			if !ok || got != p {
-				return fmt.Errorf("fitingtree: inner tree misroutes page %v", p.start())
+			if !ok || got != pi {
+				return fmt.Errorf("fitingtree: router misroutes page %v: got %d,%v want %d",
+					p.start(), got, ok, pi)
 			}
 		}
 		count += len(p.keys) + len(p.bufKeys)
-		prev = p
 	}
 	if count != t.size {
 		return fmt.Errorf("fitingtree: size %d but %d elements found", t.size, count)
 	}
-	if inTree != t.idx.len() {
-		return fmt.Errorf("fitingtree: %d in-tree pages but inner tree has %d entries", inTree, t.idx.len())
+	if routed != t.idx.len() {
+		return fmt.Errorf("fitingtree: %d routed pages but router has %d entries", routed, t.idx.len())
 	}
 	return nil
 }

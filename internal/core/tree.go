@@ -5,7 +5,7 @@
 // sorted column with piece-wise linear segments whose maximal interpolation
 // error is bounded by a tunable threshold E (Section 2). Each segment's
 // data lives in a variable-sized table page; the segments' starting keys,
-// slopes, and page pointers are organized in a B+ tree (Figure 2). A point
+// slopes, and page positions are organized in a B+ tree (Figure 2). A point
 // lookup walks the inner tree to the owning page, interpolates the key's
 // position, and binary-searches only the 2E+1 window around the prediction
 // (Section 4). Inserts go to a fixed-size sorted buffer attached to each
@@ -15,6 +15,15 @@
 // buffer, the segmentation error is transparently reduced to
 // E - buffer capacity.
 //
+// The leaf level is a position-indexed page chain: a flat slice of page
+// references in global key order that the router maps into (start key ->
+// chain position). Pages carry no links, so a page is a pure value that can
+// be shared structurally between trees — MergeCOW exploits that to publish
+// a new tree that clones only the pages a batch of writes touches and
+// shares every other page with its parent, the page-granular copy-on-write
+// flush behind the Optimistic facade. Navigation that previously followed
+// next/prev pointers is position arithmetic on the chain.
+//
 // Duplicate keys are fully supported (a requirement for non-clustered
 // indexes): consecutive pages may share a starting key, in which case only
 // the first of the run is registered in the inner tree and lookups walk the
@@ -23,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fitingtree/internal/btree"
 	"fitingtree/internal/num"
@@ -120,18 +130,28 @@ func (o Options) withDefaults() (Options, error) {
 // room for the insert buffer (Section 5).
 func (o Options) segError() int { return o.Error - o.BufferSize }
 
+// pageSeq issues process-unique page identities (see page.id).
+var pageSeq atomic.Uint64
+
 // page is one variable-sized table page: the data of one segment plus its
-// insert buffer. Pages form a doubly linked list in global key order.
+// insert buffer. Pages carry no chain links — their position is a property
+// of the tree's chain slice, not of the page — so a page is a value that
+// can appear in several trees at once. A page reachable from more than one
+// tree (published by MergeCOW) must never be mutated.
 type page[K num.Key, V any] struct {
+	id      uint64             // process-unique identity, for sharing diagnostics
 	seg     segment.Segment[K] // prediction model over keys as of last (re)build
 	keys    []K                // sorted segment data
 	vals    []V                // parallel to keys
 	bufKeys []K                // sorted insert buffer
 	bufVals []V
 	deletes int // elements removed from keys since last rebuild
-	inTree  bool
-	next    *page[K, V]
-	prev    *page[K, V]
+}
+
+// newPage allocates a page with a fresh identity over the given segment
+// data.
+func newPage[K num.Key, V any](seg segment.Segment[K], keys []K, vals []V) *page[K, V] {
+	return &page[K, V]{id: pageSeq.Add(1), seg: seg, keys: keys, vals: vals}
 }
 
 // start returns the page's first key as of the last rebuild (its routing
@@ -153,9 +173,9 @@ type Counters struct {
 // for concurrent use; wrap it or serialize access externally.
 type Tree[K num.Key, V any] struct {
 	opts  Options
-	idx   router[K, V]
-	first *page[K, V] // head of the page chain (smallest keys)
-	size  int         // total elements (pages + buffers)
+	idx   router[K]
+	chain []*page[K, V] // pages in ascending key order; the router maps into it
+	size  int           // total elements (pages + buffers)
 
 	// Hot-path state precomputed at construction so lookups neither
 	// recompute option-derived values nor dispatch through the router
@@ -163,8 +183,8 @@ type Tree[K num.Key, V any] struct {
 	// for devirtualized floor searches.
 	segErr int            // opts.segError(), the in-page window half-width
 	strat  SearchStrategy // opts.Search
-	rbt    *btree.Tree[K, *page[K, V]]
-	rim    *implicitRouter[K, V]
+	rbt    *btree.Tree[K, int]
+	rim    *implicitRouter[K]
 
 	counters Counters
 }
@@ -174,12 +194,27 @@ type Tree[K num.Key, V any] struct {
 // devirtualized lookup path).
 func (t *Tree[K, V]) initRouter(o Options) {
 	if o.Router == RouterImplicit {
-		r := &implicitRouter[K, V]{}
+		r := &implicitRouter[K]{}
 		t.idx, t.rim = r, r
 		return
 	}
-	r := &btreeRouter[K, V]{tr: btree.New[K, *page[K, V]](o.Fanout)}
+	r := &btreeRouter[K]{tr: btree.New[K, int](o.Fanout)}
 	t.idx, t.rbt = r, r.tr
+}
+
+// routedEntries derives the router's content from a chain: one entry per
+// run of equal start keys, keyed by the run's start and valued with the
+// run's first position.
+func routedEntries[K num.Key, V any](chain []*page[K, V]) ([]K, []int) {
+	var keys []K
+	var pos []int
+	for i, p := range chain {
+		if i == 0 || chain[i-1].start() != p.start() {
+			keys = append(keys, p.start())
+			pos = append(pos, i)
+		}
+	}
+	return keys, pos
 }
 
 // BulkLoad builds a FITing-Tree over sorted keys (duplicates allowed) and
@@ -215,30 +250,18 @@ func BulkLoad[K num.Key, V any](keys []K, vals []V, opts Options) (*Tree[K, V], 
 	}
 
 	segs := segment.ShrinkingCone(keys, o.segError())
-	pages := make([]*page[K, V], len(segs))
-	var treeKeys []K
-	var treeVals []*page[K, V]
+	t.chain = make([]*page[K, V], len(segs))
 	for i, s := range segs {
-		p := &page[K, V]{
-			seg:  segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
-			keys: append([]K(nil), keys[s.StartPos:s.EndPos()]...),
-			vals: append([]V(nil), vals[s.StartPos:s.EndPos()]...),
-		}
-		pages[i] = p
-		if i > 0 {
-			pages[i-1].next = p
-			p.prev = pages[i-1]
-		}
-		// Only the first page of a run of equal start keys goes in the
-		// inner tree; lookups reach the rest via the page chain.
-		if i == 0 || pages[i-1].start() != p.start() {
-			p.inTree = true
-			treeKeys = append(treeKeys, p.start())
-			treeVals = append(treeVals, p)
-		}
+		t.chain[i] = newPage(
+			segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
+			append([]K(nil), keys[s.StartPos:s.EndPos()]...),
+			append([]V(nil), vals[s.StartPos:s.EndPos()]...),
+		)
 	}
-	t.first = pages[0]
-	if err := t.idx.bulkLoad(treeKeys, treeVals, o.FillFactor); err != nil {
+	// Only the first page of a run of equal start keys goes in the inner
+	// tree; lookups reach the rest via the chain.
+	rk, rp := routedEntries(t.chain)
+	if err := t.idx.bulkLoad(rk, rp, o.FillFactor); err != nil {
 		return nil, fmt.Errorf("fitingtree: inner tree: %w", err)
 	}
 	return t, nil
@@ -253,26 +276,45 @@ func (t *Tree[K, V]) Len() int { return t.size }
 // Counters returns maintenance counters accumulated since the build.
 func (t *Tree[K, V]) Counters() Counters { return t.counters }
 
-// locate returns the page whose range contains k: the inner-tree floor
-// page, or the first page when k precedes every routing key. Returns nil
-// only for an empty tree. The router call is devirtualized: the concrete
-// floor search is reached directly rather than through the router
-// interface, which would block inlining on the hottest call of a lookup.
-func (t *Tree[K, V]) locate(k K) *page[K, V] {
-	if t.first == nil {
-		return nil
+// PageIDs returns the identity of every page in chain order. Two trees
+// related by MergeCOW share a page iff the same id appears in both; tests
+// and diagnostics use this to verify structural sharing without reaching
+// into the chain.
+func (t *Tree[K, V]) PageIDs() []uint64 {
+	ids := make([]uint64, len(t.chain))
+	for i, p := range t.chain {
+		ids[i] = p.id
 	}
-	var p *page[K, V]
+	return ids
+}
+
+// routed reports whether the page at pos carries its own routing entry:
+// only the first page of a run of equal start keys is registered in the
+// router; the rest are reached by walking the chain.
+func (t *Tree[K, V]) routed(pos int) bool {
+	return pos == 0 || t.chain[pos-1].start() != t.chain[pos].start()
+}
+
+// locate returns the chain position of the page whose range contains k:
+// the router's floor position, or 0 when k precedes every routing key.
+// Returns -1 only for an empty tree. The router call is devirtualized: the
+// concrete floor search is reached directly rather than through the router
+// interface, which would block inlining on the hottest call of a lookup.
+func (t *Tree[K, V]) locate(k K) int {
+	if len(t.chain) == 0 {
+		return -1
+	}
+	var pos int
 	var ok bool
 	if t.rim != nil {
-		p, ok = t.rim.floor(k)
+		pos, ok = t.rim.floor(k)
 	} else {
-		_, p, ok = t.rbt.Floor(k)
+		_, pos, ok = t.rbt.Floor(k)
 	}
 	if !ok {
-		return t.first
+		return 0
 	}
-	return p
+	return pos
 }
 
 // searchPage looks for k inside a single page (segment data window plus
@@ -288,31 +330,31 @@ func (t *Tree[K, V]) searchPage(p *page[K, V], k K) (V, bool) {
 	return zero, false
 }
 
-// firstCandidate returns the earliest page that could contain k. Usually
-// that is the inner tree's floor page, but duplicate runs can spill keys
-// equal to k into the tails of preceding pages, and deletions can leave a
-// key only in an earlier page of the run.
-func (t *Tree[K, V]) firstCandidate(k K) *page[K, V] {
-	p := t.locate(k)
-	if p == nil {
-		return nil
+// firstCandidate returns the position of the earliest page that could
+// contain k. Usually that is the router's floor page, but duplicate runs
+// can spill keys equal to k into the tails of preceding pages, and
+// deletions can leave a key only in an earlier page of the run.
+func (t *Tree[K, V]) firstCandidate(k K) int {
+	i := t.locate(k)
+	if i < 0 {
+		return -1
 	}
-	for p.prev != nil && p.prev.lastKey() >= k {
-		p = p.prev
+	for i > 0 && t.chain[i-1].lastKey() >= k {
+		i--
 	}
-	return p
+	return i
 }
 
 // Lookup returns a value stored under k. When k has duplicates, an
 // arbitrary match is returned; use Each for all of them.
 func (t *Tree[K, V]) Lookup(k K) (V, bool) {
-	for p := t.firstCandidate(k); p != nil; p = p.next {
-		if v, ok := t.searchPage(p, k); ok {
+	for i := t.firstCandidate(k); i >= 0 && i < len(t.chain); i++ {
+		if v, ok := t.searchPage(t.chain[i], k); ok {
 			return v, true
 		}
 		// A run of equal start keys can span pages; keep walking while the
 		// next page could still contain k.
-		if p.next == nil || p.next.start() > k {
+		if i+1 == len(t.chain) || t.chain[i+1].start() > k {
 			break
 		}
 	}
@@ -330,11 +372,11 @@ func (t *Tree[K, V]) Contains(k K) bool {
 // fn returns false. Values in page data are visited before buffered values
 // of the same page.
 func (t *Tree[K, V]) Each(k K, fn func(v V) bool) {
-	for p := t.firstCandidate(k); p != nil; p = p.next {
-		if !p.eachMatch(k, t.segErr, t.strat, fn) {
+	for i := t.firstCandidate(k); i >= 0 && i < len(t.chain); i++ {
+		if !t.chain[i].eachMatch(k, t.segErr, t.strat, fn) {
 			return
 		}
-		if p.next == nil || p.next.start() > k {
+		if i+1 == len(t.chain) || t.chain[i+1].start() > k {
 			return
 		}
 	}

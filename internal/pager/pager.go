@@ -10,6 +10,14 @@
 // not wall-clock time, are the measured quantity: they translate to real
 // I/O or cache-miss cost through the cost model's constant c exactly as in
 // Section 6.
+//
+// PageID is the storage-level notion of page identity: stable for the
+// lifetime of the page and independent of where the page sits in any
+// index. The in-memory index mirrors this with its own per-page identity
+// (core's page ids), which is what lets the copy-on-write flush share
+// unmodified pages between published tree states — on this substrate the
+// same flush would write only the dirty pages' blocks and leave every
+// shared PageID untouched on disk.
 package pager
 
 import (

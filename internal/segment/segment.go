@@ -33,6 +33,13 @@
 // All treat duplicate keys the way a secondary (non-clustered) index needs:
 // a run of equal keys is feasible inside a segment as long as the run's
 // positional spread stays within the error threshold.
+//
+// A Segment is a pure value: it references its data only through
+// (StartPos, Count) offsets, never through pointers, so the table pages
+// built around segments are themselves shareable values. internal/core
+// relies on that for its copy-on-write flush — a re-segmented region
+// yields fresh Segment values while every untouched page (and the Segment
+// inside it) is shared between the old and new tree states.
 package segment
 
 import (

@@ -1,9 +1,10 @@
 package fitingtree
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"fitingtree/internal/core"
 )
 
 // DefaultFlushEvery is the number of pending writes that triggers an
@@ -30,10 +31,13 @@ const DefaultFlushEvery = 1024
 // which is what makes the scheme safe without epoch bookkeeping.
 //
 // Once the delta reaches the flush threshold (SetFlushEvery), the writer
-// folds it into a new bulk-loaded tree — an O(n) compaction amortized over
-// the threshold, the price of keeping the base tree immutable. The facade
-// therefore suits read-heavy workloads; a write-dominated workload is
-// better served by a plain Tree behind Concurrent.
+// folds it into the base tree with a page-granular copy-on-write merge
+// (Tree.MergeCOW): only the pages the delta's keys fall into are rebuilt,
+// and the published tree shares every untouched page with its predecessor,
+// so flush cost scales with the delta size, not the tree size. Readers
+// holding the old state keep a complete, consistent tree; the shared pages
+// are immutable and the unshared ones are reclaimed by the garbage
+// collector with the old state.
 //
 // Scans and batch lookups run against one consistent snapshot: writes
 // published during a scan are not observed by it.
@@ -186,8 +190,15 @@ func (o *Optimistic[K, V]) Insert(k K, v V) {
 }
 
 // Delete removes one element with key k and reports whether one was found.
-// Which of several duplicates is removed is unspecified, as with
-// Tree.Delete.
+//
+// Duplicate semantics: a pending (not yet flushed) insert of k is consumed
+// first, newest first. Otherwise the delta records one more tombstone for
+// k, and tombstones count matches in scan order — the first N matches that
+// Each(k, ...) would visit (page order along the chain, page data before
+// buffered inserts within a page) are treated as removed. Flushing
+// preserves exactly this accounting, so which of several duplicates
+// disappears is deterministic given the scan order, unlike Tree.Delete,
+// which removes whichever duplicate its page search finds first.
 func (o *Optimistic[K, V]) Delete(k K) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -208,49 +219,22 @@ func (o *Optimistic[K, V]) publish(next *ostate[K, V]) {
 	o.version.Add(1)
 }
 
-// maybeFlush folds the delta into a fresh bulk-loaded tree once enough
-// writes are pending. Callers hold o.mu.
+// maybeFlush folds the delta into the base tree once enough writes are
+// pending, using the page-granular copy-on-write merge: the delta becomes
+// a sorted op list (it already is one — keys ascending, adds in insertion
+// order, tombstone counts), and MergeCOW rebuilds only the pages those
+// keys fall into while the new state shares every other page with the old
+// one. Cost is O(delta · pages touched), not O(n). Callers hold o.mu.
 func (o *Optimistic[K, V]) maybeFlush(st *ostate[K, V]) *ostate[K, V] {
 	d := st.delta
 	if d == nil || d.addN+d.delN < o.flushAt {
 		return st
 	}
-	keys := make([]K, 0, st.size)
-	vals := make([]V, 0, st.size)
-	if lo, hi, ok := st.bounds(); ok {
-		st.ascendRange(lo, hi, func(k K, v V) bool {
-			keys = append(keys, k)
-			vals = append(vals, v)
-			return true
-		})
+	ops := make([]core.MergeOp[K, V], len(d.keys))
+	for i, k := range d.keys {
+		ops[i] = core.MergeOp[K, V]{Key: k, Adds: d.adds[i], Dels: d.dels[i]}
 	}
-	t, err := BulkLoad(keys, vals, st.tree.Options())
-	if err != nil {
-		// Unreachable: the merged scan emits sorted non-NaN keys and the
-		// options were already validated when the base tree was built.
-		panic(fmt.Sprintf("fitingtree: optimistic flush: %v", err))
-	}
-	return &ostate[K, V]{tree: t, size: len(keys)}
-}
-
-// bounds returns the smallest and largest key across the base tree and the
-// delta, reporting false when the state is empty.
-func (st *ostate[K, V]) bounds() (lo, hi K, ok bool) {
-	if st.tree.Len() > 0 {
-		lo, _, _ = st.tree.Min()
-		hi, _, _ = st.tree.Max()
-		ok = true
-	}
-	if d := st.delta; d != nil && len(d.keys) > 0 {
-		if !ok || d.keys[0] < lo {
-			lo = d.keys[0]
-		}
-		if !ok || d.keys[len(d.keys)-1] > hi {
-			hi = d.keys[len(d.keys)-1]
-		}
-		ok = true
-	}
-	return lo, hi, ok
+	return &ostate[K, V]{tree: st.tree.MergeCOW(ops), size: st.size}
 }
 
 // lookup resolves a point read against this state.
