@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"fitingtree/internal/bench"
@@ -24,12 +26,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, all")
 		n        = flag.Int("n", 1_000_000, "base dataset size")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		probes   = flag.Int("probes", 100_000, "lookup probes per measurement")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast run")
-		jsonPath = flag.String("json", "", "write machine-readable results of -exp parallel to this file")
+		jsonPath = flag.String("json", "", "write machine-readable results of -exp parallel or shardwrite to this file; with -exp all, parallel goes here and shardwrite to <name>_shardwrite.<ext>")
 	)
 	flag.Parse()
 
@@ -58,8 +60,12 @@ func main() {
 		"parallel": func() {
 			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
 		},
+		"shardwrite": func() {
+			writeShardWriteJSON(*jsonPath, cfg, bench.ExtShardWrite(os.Stdout, cfg))
+		},
 		"all": func() {
 			bench.AllButParallel(os.Stdout, cfg)
+			writeShardWriteJSON(shardWritePath(*jsonPath), cfg, bench.ExtShardWrite(os.Stdout, cfg))
 			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
 		},
 	}
@@ -69,8 +75,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *jsonPath != "" && *exp != "parallel" && *exp != "all" {
-		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel or all\n")
+	if *jsonPath != "" && *exp != "parallel" && *exp != "shardwrite" && *exp != "all" {
+		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, or all\n")
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -81,16 +87,46 @@ func main() {
 // writeParallelJSON writes the parallel experiment's machine-readable
 // report to path; it is a no-op when path is empty.
 func writeParallelJSON(path string, cfg bench.Config, points []bench.ParallelPoint) {
-	if path == "" {
-		return
-	}
-	report := bench.ParallelReport{
+	writeJSON(path, bench.ParallelReport{
 		Experiment: "parallel",
 		N:          cfg.N,
 		Seed:       cfg.Seed,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Points:     points,
+	})
+}
+
+// writeShardWriteJSON writes the shardwrite experiment's machine-readable
+// report to path; it is a no-op when path is empty.
+func writeShardWriteJSON(path string, cfg bench.Config, points []bench.ShardWritePoint) {
+	writeJSON(path, bench.ShardWriteReport{
+		Experiment: "shardwrite",
+		N:          cfg.N,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	})
+}
+
+// shardWritePath derives the shardwrite report's file name when -exp all
+// captures both experiments under one -json flag: "x.json" becomes
+// "x_shardwrite.json". Empty stays empty (no capture requested).
+func shardWritePath(path string) string {
+	if path == "" {
+		return ""
+	}
+	if ext := filepath.Ext(path); ext != "" {
+		return strings.TrimSuffix(path, ext) + "_shardwrite" + ext
+	}
+	return path + "_shardwrite"
+}
+
+// writeJSON marshals a report to path; empty path is a no-op.
+func writeJSON(path string, report any) {
+	if path == "" {
+		return
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -60,15 +60,7 @@ func Encode[K Key, V any](t *Tree[K, V], w io.Writer) error {
 // either Decode (as a bare Tree) or DecodeOptimistic.
 func EncodeOptimistic[K Key, V any](o *Optimistic[K, V], w io.Writer) error {
 	st := o.state.Load()
-	keys := make([]K, 0, st.size)
-	vals := make([]V, 0, st.size)
-	if lo, hi, ok := st.bounds(); ok {
-		st.ascendRange(lo, hi, func(k K, v V) bool {
-			keys = append(keys, k)
-			vals = append(vals, v)
-			return true
-		})
-	}
+	keys, vals := collectStates([]*ostate[K, V]{st})
 	return encodeSnapshot(w, st.tree.Options(), keys, vals)
 }
 
@@ -131,4 +123,29 @@ func DecodeOptimistic[K Key, V any](r io.Reader) (*Optimistic[K, V], error) {
 		return nil, err
 	}
 	return NewOptimistic(t), nil
+}
+
+// EncodeSharded writes a snapshot of the whole sharded facade to w. The
+// cut is coherent across shards: writers are excluded only while one state
+// pointer per shard is loaded (O(shards) atomic loads), then the immutable
+// states are encoded without blocking anyone. Shards partition the key
+// space, so concatenating them in fence order yields the same
+// key-ordered stream Encode produces — pending per-shard deltas folded in
+// — and the result decodes with Decode, DecodeOptimistic, or
+// DecodeSharded.
+func EncodeSharded[K Key, V any](s *Sharded[K, V], w io.Writer) error {
+	ss, states := s.snapshotAll()
+	keys, vals := collectStates(states)
+	return encodeSnapshot(w, ss.opts, keys, vals)
+}
+
+// DecodeSharded reads a snapshot produced by any of the encoders and
+// returns a fresh sharded facade over the rebuilt data, re-partitioned
+// into at most the requested number of shards with empty deltas.
+func DecodeSharded[K Key, V any](r io.Reader, shards int) (*Sharded[K, V], error) {
+	t, err := Decode[K, V](r)
+	if err != nil {
+		return nil, err
+	}
+	return NewSharded(t, shards)
 }

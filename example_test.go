@@ -56,6 +56,36 @@ func ExampleOptimistic_Delete() {
 	// third
 }
 
+// ExampleNewSharded splits a tree into range shards with boundaries drawn
+// from the data's distribution; writes to different shards take different
+// locks, reads stay latch-free, and range scans stitch across shards in
+// key order.
+func ExampleNewSharded() {
+	keys := make([]uint64, 1000)
+	vals := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i * 10)
+		vals[i] = uint64(i)
+	}
+	tr, _ := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: 16, BufferSize: 4})
+
+	idx, _ := fitingtree.NewSharded(tr, 4)
+	fmt.Println(idx.Shards())
+
+	idx.Insert(4995, 4995) // routes to the owning shard only
+	v, ok := idx.Lookup(4995)
+	fmt.Println(v, ok)
+
+	// A range crossing shard boundaries is stitched in key order.
+	n := 0
+	idx.AscendRange(0, 9990, func(k, v uint64) bool { n++; return true })
+	fmt.Println(n)
+	// Output:
+	// 4
+	// 4995 true
+	// 1001
+}
+
 // ExampleEncodeOptimistic snapshots a facade without blocking its writers:
 // the published state is immutable, so one atomic load is a consistent
 // cut, pending delta writes included.

@@ -34,14 +34,19 @@
 //
 // # Concurrency and snapshots
 //
-// Two facades wrap a Tree for shared use. NewConcurrent is a plain
+// Three facades wrap a Tree for shared use. NewConcurrent is a plain
 // RWMutex reader/writer facade. NewOptimistic provides latch-free reads
 // under a single writer: every write publishes an immutable state (base
 // tree + pending-write delta) through an atomic pointer, and a full delta
 // is flushed with a page-granular copy-on-write merge that rebuilds only
-// the pages the delta touches. Use Encode/Decode to snapshot a tree to
-// and from a stream, and EncodeOptimistic/DecodeOptimistic to snapshot a
-// live Optimistic facade without blocking its writers.
+// the pages the delta touches. NewSharded range-partitions the key space
+// over several Optimistic shards behind a distribution-aware partitioner,
+// so writers on different shards proceed concurrently while reads stay
+// latch-free; skewed shards are rebalanced automatically. Use
+// Encode/Decode to snapshot a tree to and from a stream,
+// EncodeOptimistic/DecodeOptimistic to snapshot a live Optimistic facade
+// without blocking its writers, and EncodeSharded/DecodeSharded for a
+// coherent cut across all shards in the same stream format.
 //
 // docs/ARCHITECTURE.md in the repository describes the layer map, the
 // snapshot+delta read protocol, the copy-on-write flush, and the

@@ -21,7 +21,7 @@ func (t *Tree[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	if len(keys) == 0 || len(t.chain) == 0 {
 		return vals, found
 	}
-	order := probeOrder(keys) // nil when keys are already ascending
+	order := ProbeOrder(keys) // nil when keys are already ascending
 
 	pos := -1 // candidate position left by the previous (smaller) probe
 	for n := range keys {
@@ -64,9 +64,12 @@ func (t *Tree[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	return vals, found
 }
 
-// probeOrder returns a permutation visiting keys in ascending order, or
-// nil when keys are already sorted (the free fast path).
-func probeOrder[K num.Key](keys []K) []int32 {
+// ProbeOrder returns a permutation visiting keys in ascending order, or
+// nil when keys are already sorted (the free fast path). The sort is the
+// specialized closure-free quicksort of the batch hot path; batch-style
+// callers outside the package (e.g. the sharded facade's scatter-gather)
+// reuse it rather than paying sort.Sort's interface dispatch.
+func ProbeOrder[K num.Key](keys []K) []int32 {
 	ascending := true
 	for i := 1; i < len(keys); i++ {
 		if keys[i] < keys[i-1] {

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fitingtree/internal/num"
+	"fitingtree/internal/segment"
+)
+
+// PageBounds returns, per page in chain order, the page's routing start key
+// and its element count (segment data plus buffered inserts). The pairs
+// describe how the tree's content is distributed over the key space — a
+// range partitioner uses them as candidate cut points (starts) weighted by
+// how many elements each cut would move (weights). Weights sum to Len().
+func (t *Tree[K, V]) PageBounds() (starts []K, weights []int) {
+	if len(t.chain) == 0 {
+		return nil, nil
+	}
+	starts = make([]K, len(t.chain))
+	weights = make([]int, len(t.chain))
+	for i, p := range t.chain {
+		starts[i] = p.start()
+		weights[i] = len(p.keys) + len(p.bufKeys)
+	}
+	return starts, weights
+}
+
+// SegmentBoundsOf runs the error-bounded segmentation over a sorted key
+// slice and returns the same (start key, element count) pairs PageBounds
+// would report for a tree freshly bulk-loaded from those keys — without
+// building any pages. It lets a partitioner pick distribution-aware cut
+// points for data it holds only as a sorted run (e.g. during a shard
+// rebalance). The keys must be sorted and NaN-free; opts is normalized the
+// way BulkLoad normalizes it.
+func SegmentBoundsOf[K num.Key](keys []K, opts Options) (starts []K, weights []int, err error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	segs := segment.ShrinkingCone(keys, o.segError())
+	starts = make([]K, len(segs))
+	weights = make([]int, len(segs))
+	for i, s := range segs {
+		starts[i] = s.Start
+		weights[i] = s.Count
+	}
+	return starts, weights, nil
+}
+
+// PartitionByWeight picks up to n-1 strictly increasing fence keys from the
+// candidate cut points starts (sorted, parallel to weights) so that the n
+// ranges they induce carry near-equal total weight. Cutting is restricted
+// to candidate starts, so a fence never splits a candidate's weight — for
+// candidates produced by PageBounds or SegmentBoundsOf that means a fence
+// never lands inside a page, and every key compares into exactly one range.
+// Duplicate candidate starts (equal-start page runs) are never chosen
+// twice. Fewer than n-1 fences are returned when the candidates cannot
+// support n non-empty ranges.
+//
+// The greedy walk accumulates weight and cuts at the first candidate whose
+// prefix weight reaches the next multiple of total/n; with page-sized
+// weights the resulting imbalance is bounded by one page per range.
+func PartitionByWeight[K num.Key](starts []K, weights []int, n int) []K {
+	if n <= 1 || len(starts) < 2 {
+		return nil
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return nil
+	}
+	fences := make([]K, 0, n-1)
+	acc := 0
+	for i, w := range weights {
+		// A fence at starts[i] moves everything before position i to the
+		// left of the cut; take the cut when the accumulated weight has
+		// reached the next even share of the total.
+		// starts are sorted, so requiring a strict step over the previous
+		// candidate keeps the chosen fences strictly increasing and never
+		// cuts inside an equal-start page run.
+		if i > 0 && len(fences) < n-1 &&
+			acc >= total*(len(fences)+1)/n &&
+			starts[i] > starts[i-1] {
+			fences = append(fences, starts[i])
+		}
+		acc += w
+	}
+	return fences
+}

@@ -45,7 +45,7 @@ type Optimistic[K Key, V any] struct {
 	mu      sync.Mutex // serializes writers
 	version atomic.Uint64
 	state   atomic.Pointer[ostate[K, V]]
-	flushAt int
+	flushAt atomic.Int64
 }
 
 // ostate is one immutable published state. Neither the tree nor the delta
@@ -71,18 +71,21 @@ type odelta[K Key, V any] struct {
 // NewOptimistic wraps an existing tree. The tree must not be used directly
 // afterwards: the facade owns it and replaces it wholesale on flush.
 func NewOptimistic[K Key, V any](t *Tree[K, V]) *Optimistic[K, V] {
-	o := &Optimistic[K, V]{flushAt: DefaultFlushEvery}
+	o := &Optimistic[K, V]{}
+	o.flushAt.Store(DefaultFlushEvery)
 	o.state.Store(&ostate[K, V]{tree: t, size: t.Len()})
 	return o
 }
 
 // SetFlushEvery sets the number of pending writes that triggers a delta
-// flush. It must be called before the facade is shared with readers.
+// flush. The threshold is an atomic, so it is safe to change at any time,
+// including while readers and writers are active; the new value applies
+// from the next write.
 func (o *Optimistic[K, V]) SetFlushEvery(n int) {
 	if n < 1 {
 		n = 1
 	}
-	o.flushAt = n
+	o.flushAt.Store(int64(n))
 }
 
 // Version returns the current write stamp. It is even when no publication
@@ -151,8 +154,24 @@ func (o *Optimistic[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 			if n := len(d.adds[j]); n > 0 {
 				vals[i], found[i] = d.adds[j][n-1], true
 			} else if found[i] {
-				// Only deletions are pending for k; recheck survivors.
-				vals[i], found[i] = st.lookup(k)
+				// Only deletions are pending for k: the survivors are the
+				// base matches past the first dels[j] in Each order.
+				// Resolve them from the delta index already in hand
+				// instead of re-running a full point lookup (st.lookup
+				// would redo the delta search before its page walk).
+				skip := d.dels[j]
+				var val V
+				ok := false
+				seen := 0
+				st.tree.Each(k, func(v V) bool {
+					if seen == skip {
+						val, ok = v, true
+						return false
+					}
+					seen++
+					return true
+				})
+				vals[i], found[i] = val, ok
 			}
 		}
 	}
@@ -200,6 +219,11 @@ func (o *Optimistic[K, V]) Insert(k K, v V) {
 // disappears is deterministic given the scan order, unlike Tree.Delete,
 // which removes whichever duplicate its page search finds first.
 func (o *Optimistic[K, V]) Delete(k K) bool {
+	// Same guard as Insert: a NaN key compares false against everything,
+	// so it would corrupt the sorted-delta invariant silently.
+	if k != k {
+		panic("fitingtree: Delete with NaN key")
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st := o.state.Load()
@@ -227,7 +251,7 @@ func (o *Optimistic[K, V]) publish(next *ostate[K, V]) {
 // one. Cost is O(delta · pages touched), not O(n). Callers hold o.mu.
 func (o *Optimistic[K, V]) maybeFlush(st *ostate[K, V]) *ostate[K, V] {
 	d := st.delta
-	if d == nil || d.addN+d.delN < o.flushAt {
+	if d == nil || int64(d.addN+d.delN) < o.flushAt.Load() {
 		return st
 	}
 	ops := make([]core.MergeOp[K, V], len(d.keys))

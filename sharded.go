@@ -1,0 +1,568 @@
+package fitingtree
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"fitingtree/internal/core"
+)
+
+// DefaultRebalanceFactor is the skew factor at which a Sharded facade
+// recomputes its shard boundaries: a rebalance is considered once the
+// largest shard holds more than this factor times the mean shard size.
+const DefaultRebalanceFactor = 3.0
+
+const (
+	// minRebalanceFactor floors SetRebalanceFactor: below it the facade
+	// would re-partition on ordinary jitter between shard sizes.
+	minRebalanceFactor = 1.5
+	// shardSkewCheckEvery gates the O(shards) skew check to one write in
+	// this many, keeping it off the per-write hot path.
+	shardSkewCheckEvery = 64
+	// minShardElements is the smallest mean shard size worth balancing;
+	// below want*minShardElements total elements the facade never
+	// re-partitions.
+	minShardElements = 64
+)
+
+// Sharded is a range-partitioned multi-writer facade: it owns a set of
+// Optimistic shards behind a distribution-aware partitioner whose fence
+// keys are picked from the base tree's page boundaries, so shards carry
+// balanced element counts rather than balanced key spans (skewed data gets
+// narrow hot shards and wide cold ones). Every key routes to exactly one
+// shard, so per-key semantics — duplicate ordering, tombstone accounting,
+// flush behavior — are exactly Optimistic's.
+//
+// Reads (Lookup, Contains, Each, AscendRange, LookupBatch) stay latch-free
+// end to end: they load the shard set through an atomic pointer and then
+// run Optimistic's snapshot protocol inside the owning shard(s), taking no
+// lock and never blocking. AscendRange stitches per-shard snapshots in
+// fence order; LookupBatch scatter-gathers with per-shard sorted
+// sub-batches.
+//
+// Writers (Insert, Delete) route to one shard and serialize only on that
+// shard's writer mutex, so writers whose keys land on different shards
+// proceed fully concurrently — each shard keeps its own delta and
+// page-granular copy-on-write flush. A shared RWMutex is held in read mode
+// for the duration of a write; its exclusive side is taken only by
+// rebalances and coherent multi-shard snapshots (EncodeSharded), which are
+// rare and short.
+//
+// When one shard's size drifts past a configurable factor of the mean
+// (SetRebalanceFactor), the facade re-partitions: all shard contents are
+// collected under the exclusive lock, fresh fences are computed from the
+// merged data's segment boundaries, and a new shard set is published
+// atomically. Readers holding the old set keep complete, consistent
+// snapshots.
+type Sharded[K Key, V any] struct {
+	// reshape is held shared by writers (writes on different shards still
+	// run concurrently) and exclusively by rebalance and coherent
+	// multi-shard snapshots. Readers never touch it.
+	reshape sync.RWMutex
+	set     atomic.Pointer[shardSet[K, V]]
+
+	want         int           // target shard count
+	flushAt      atomic.Int64  // forwarded to every shard, current and future
+	factor       atomic.Uint64 // rebalance skew factor (math.Float64bits)
+	writes       atomic.Uint64 // write counter gating the skew check
+	rebalancedAt atomic.Int64  // total elements when fences were last computed
+}
+
+// shardSet is one immutable published partitioning: the fence keys and the
+// shards they induce. The slice headers and fences are never mutated after
+// publication; the shards themselves are live Optimistic facades.
+type shardSet[K Key, V any] struct {
+	// bounds holds len(shards)-1 strictly increasing fence keys: shard i
+	// owns keys in [bounds[i-1], bounds[i]), with the first and last
+	// ranges open-ended.
+	bounds      []K
+	shards      []*Optimistic[K, V]
+	opts        Options
+	versionBase uint64 // accumulated Version() sum of retired shard sets
+}
+
+// balancedFences picks the fence keys for a shard split of the sorted
+// element run. Segment/page start keys (weighted by element count) are the
+// preferred cut points — they are the distribution summary the tree
+// already maintains, so skewed data naturally gets narrow hot shards and
+// wide cold ones. But the segmentation can be too coarse to balance on:
+// near-linear data collapses into a handful of huge segments (one, in the
+// limit), leaving no candidate anywhere near the even share. When the
+// segment-start fences cannot keep every range within 1.5× the even
+// share, the partitioner falls back to element-count quantiles of the run
+// itself, advancing each cut past its duplicate run so every key still
+// routes to exactly one shard.
+func balancedFences[K Key](keys []K, starts []K, weights []int, want int) []K {
+	bounds := core.PartitionByWeight(starts, weights, want)
+	if len(bounds) == want-1 {
+		share := len(keys) / want
+		lo := 0
+		balanced := true
+		for i := 0; i <= len(bounds); i++ {
+			hi := len(keys)
+			if i < len(bounds) {
+				hi = lowerBound(keys, bounds[i])
+			}
+			if hi-lo > share+share/2 {
+				balanced = false
+				break
+			}
+			lo = hi
+		}
+		if balanced {
+			return bounds
+		}
+	}
+	return quantileFences(keys, want)
+}
+
+// quantileFences cuts the sorted run at element-count quantiles. A cut
+// landing inside a duplicate run advances past it (fences must be strictly
+// increasing and every key must compare into one range), so heavy
+// duplicates can yield fewer than want-1 fences.
+func quantileFences[K Key](keys []K, want int) []K {
+	var fences []K
+	for i := 1; i < want; i++ {
+		pos := i * len(keys) / want
+		if pos <= 0 || pos >= len(keys) {
+			continue
+		}
+		f := keys[pos]
+		if keys[pos-1] == f {
+			pos = upperBoundKeys(keys, f)
+			if pos >= len(keys) {
+				continue
+			}
+			f = keys[pos]
+		}
+		if len(fences) > 0 && f <= fences[len(fences)-1] {
+			continue
+		}
+		fences = append(fences, f)
+	}
+	return fences
+}
+
+// upperBoundKeys returns the index of the first key > k in a sorted slice.
+func upperBoundKeys[K Key](keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// shardFor returns the index of the shard owning k: the number of fences
+// <= k.
+func (ss *shardSet[K, V]) shardFor(k K) int {
+	return upperBoundKeys(ss.bounds, k)
+}
+
+// NewSharded splits an existing tree into at most shards range partitions,
+// each wrapped in its own Optimistic facade. Fences are chosen from the
+// tree's page boundaries weighted by element count (with an element-
+// quantile fallback when the segmentation is too coarse — see
+// balancedFences), so the initial shards are balanced for the data's
+// actual distribution. Fewer shards are created when the data cannot
+// support the requested count (e.g. one giant duplicate run); the facade
+// grows toward the target as data arrives. The tree must not be used
+// directly afterwards: the facade owns its content.
+func NewSharded[K Key, V any](t *Tree[K, V], shards int) (*Sharded[K, V], error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("fitingtree: shard count %d, must be >= 1", shards)
+	}
+	keys := make([]K, 0, t.Len())
+	vals := make([]V, 0, t.Len())
+	t.Ascend(func(k K, v V) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	starts, weights := t.PageBounds()
+	s := &Sharded[K, V]{want: shards}
+	s.flushAt.Store(DefaultFlushEvery)
+	s.factor.Store(math.Float64bits(DefaultRebalanceFactor))
+	ss, err := newShardSet(keys, vals, starts, weights, t.Options(), shards, 0, DefaultFlushEvery)
+	if err != nil {
+		return nil, err
+	}
+	s.set.Store(ss)
+	s.rebalancedAt.Store(int64(len(keys)))
+	return s, nil
+}
+
+// newShardSet partitions the sorted (keys, vals) run along fences chosen
+// by balancedFences and bulk-loads one shard per range.
+func newShardSet[K Key, V any](keys []K, vals []V, starts []K, weights []int,
+	opts Options, want int, versionBase uint64, flushAt int) (*shardSet[K, V], error) {
+	bounds := balancedFences(keys, starts, weights, want)
+	shards := make([]*Optimistic[K, V], len(bounds)+1)
+	lo := 0
+	for i := range shards {
+		hi := len(keys)
+		if i < len(bounds) {
+			hi = lowerBound(keys, bounds[i]) // keys >= fence belong right of the cut
+		}
+		tr, err := BulkLoad(keys[lo:hi], vals[lo:hi], opts)
+		if err != nil {
+			return nil, fmt.Errorf("fitingtree: shard %d: %w", i, err)
+		}
+		o := NewOptimistic(tr)
+		o.SetFlushEvery(flushAt)
+		shards[i] = o
+		lo = hi
+	}
+	return &shardSet[K, V]{bounds: bounds, shards: shards, opts: opts, versionBase: versionBase}, nil
+}
+
+// SetFlushEvery sets the per-shard delta flush threshold (see
+// Optimistic.SetFlushEvery). Safe to call at any time; shards created by
+// later rebalances inherit the value.
+func (s *Sharded[K, V]) SetFlushEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	// The shared lock orders this against rebalance: either the rebalance
+	// sees the new flushAt when building its shards, or this loop sees the
+	// shard set the rebalance published.
+	s.reshape.RLock()
+	defer s.reshape.RUnlock()
+	s.flushAt.Store(int64(n))
+	for _, sh := range s.set.Load().shards {
+		sh.SetFlushEvery(n)
+	}
+}
+
+// SetRebalanceFactor sets the skew threshold: a boundary rebuild is
+// considered once the largest shard exceeds factor times the mean shard
+// size. Values below 1.5 (including NaN) are clamped to 1.5; +Inf disables
+// rebalancing. Safe to call at any time.
+func (s *Sharded[K, V]) SetRebalanceFactor(factor float64) {
+	if factor != factor || factor < minRebalanceFactor {
+		factor = minRebalanceFactor
+	}
+	s.factor.Store(math.Float64bits(factor))
+}
+
+// Shards returns the current number of shards. It can be lower than the
+// target passed to NewSharded while the data is too small to split, and
+// reaches the target through rebalances as data arrives.
+func (s *Sharded[K, V]) Shards() int { return len(s.set.Load().shards) }
+
+// ShardSizes returns the current per-shard element counts in fence order —
+// a balance diagnostic. Like Len, the counts are a momentary aggregate
+// under concurrent writers.
+func (s *Sharded[K, V]) ShardSizes() []int {
+	ss := s.set.Load()
+	sizes := make([]int, len(ss.shards))
+	for i, sh := range ss.shards {
+		sizes[i] = sh.Len()
+	}
+	return sizes
+}
+
+// Bounds returns a copy of the current fence keys (len Shards()-1,
+// strictly increasing): shard i owns keys in [bounds[i-1], bounds[i]).
+func (s *Sharded[K, V]) Bounds() []K {
+	return append([]K(nil), s.set.Load().bounds...)
+}
+
+// Version returns an aggregate write stamp: the sum of every shard's
+// version plus the accumulated versions of shard sets retired by
+// rebalances. It is even when no publication is in flight and increases
+// with every published write and every rebalance.
+func (s *Sharded[K, V]) Version() uint64 {
+	ss := s.set.Load()
+	v := ss.versionBase
+	for _, sh := range ss.shards {
+		v += sh.Version()
+	}
+	return v
+}
+
+// Len returns the total number of stored elements across all shards,
+// including pending delta inserts.
+func (s *Sharded[K, V]) Len() int {
+	ss := s.set.Load()
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Stats aggregates the shards' statistics: counts and sizes sum, heights
+// take the maximum.
+func (s *Sharded[K, V]) Stats() Stats {
+	ss := s.set.Load()
+	var agg Stats
+	for _, sh := range ss.shards {
+		st := sh.Stats()
+		agg.Elements += st.Elements
+		agg.Pages += st.Pages
+		agg.Buffered += st.Buffered
+		agg.Deletes += st.Deletes
+		agg.IndexSize += st.IndexSize
+		agg.DataSize += st.DataSize
+		agg.Inner.Len += st.Inner.Len
+		agg.Inner.InnerNodes += st.Inner.InnerNodes
+		agg.Inner.LeafNodes += st.Inner.LeafNodes
+		agg.Inner.SizeBytes += st.Inner.SizeBytes
+		if st.Inner.Height > agg.Inner.Height {
+			agg.Inner.Height = st.Inner.Height
+		}
+		if st.Height > agg.Height {
+			agg.Height = st.Height
+		}
+	}
+	return agg
+}
+
+// Lookup returns a value stored under k; latch-free. When k has
+// duplicates, an arbitrary match is returned; use Each for all of them.
+func (s *Sharded[K, V]) Lookup(k K) (V, bool) {
+	ss := s.set.Load()
+	return ss.shards[ss.shardFor(k)].Lookup(k)
+}
+
+// Contains reports whether k is present; latch-free.
+func (s *Sharded[K, V]) Contains(k K) bool {
+	_, ok := s.Lookup(k)
+	return ok
+}
+
+// Each calls fn for every element with key exactly k against the owning
+// shard's consistent snapshot; latch-free. Match order is Optimistic's:
+// surviving base matches in page order, then pending inserts in insertion
+// order.
+func (s *Sharded[K, V]) Each(k K, fn func(v V) bool) {
+	ss := s.set.Load()
+	ss.shards[ss.shardFor(k)].Each(k, fn)
+}
+
+// AscendRange calls fn for elements with lo <= key <= hi in ascending key
+// order; latch-free. The scan is an ordered stitch across shard snapshots:
+// every intersecting shard's state is captured before the first element is
+// emitted, then each shard's range is scanned in fence order. Shards
+// partition the key space, so the stitched output is globally ordered; each
+// shard's portion is one consistent cut (writes published to a shard after
+// its capture are not observed).
+func (s *Sharded[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
+	if hi < lo {
+		return
+	}
+	ss := s.set.Load()
+	from, to := ss.shardFor(lo), ss.shardFor(hi)
+	states := make([]*ostate[K, V], to-from+1)
+	for i := range states {
+		states[i] = ss.shards[from+i].state.Load()
+	}
+	for _, st := range states {
+		stopped := false
+		st.ascendRange(lo, hi, func(k K, v V) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// LookupBatch looks up every element of keys, returning values and found
+// flags parallel to keys; latch-free. One permutation sorts the whole
+// batch by key (core.ProbeOrder, the batch hot path's specialized sort;
+// free when the batch is presorted) — shards partition the key space, so
+// the sorted batch is automatically contiguous per shard with every
+// sub-batch presorted for the shard's LookupBatch fast path. Results
+// gather back into probe order, and each shard's sub-batch runs against
+// one consistent snapshot of that shard.
+func (s *Sharded[K, V]) LookupBatch(keys []K) ([]V, []bool) {
+	ss := s.set.Load()
+	if len(ss.shards) == 1 {
+		return ss.shards[0].LookupBatch(keys)
+	}
+	vals := make([]V, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found
+	}
+	order := core.ProbeOrder(keys) // nil when keys are already ascending
+	sub := keys
+	if order != nil {
+		sub = make([]K, len(keys))
+		for i, p := range order {
+			sub[i] = keys[p]
+		}
+	}
+	for si, b := 0, 0; si < len(ss.shards) && b < len(sub); si++ {
+		e := len(sub)
+		if si < len(ss.bounds) {
+			e = lowerBound(sub, ss.bounds[si]) // keys >= fence belong to later shards
+		}
+		if e == b {
+			continue
+		}
+		sv, sf := ss.shards[si].LookupBatch(sub[b:e])
+		if order == nil {
+			copy(vals[b:e], sv)
+			copy(found[b:e], sf)
+		} else {
+			for j := b; j < e; j++ {
+				vals[order[j]], found[order[j]] = sv[j-b], sf[j-b]
+			}
+		}
+		b = e
+	}
+	return vals, found
+}
+
+// Insert adds (k, v). Only the owning shard's writer mutex is taken, so
+// inserts to different shards proceed concurrently. Panics on a NaN key.
+func (s *Sharded[K, V]) Insert(k K, v V) {
+	if k != k {
+		panic("fitingtree: Insert with NaN key")
+	}
+	s.reshape.RLock()
+	ss := s.set.Load()
+	ss.shards[ss.shardFor(k)].Insert(k, v)
+	s.reshape.RUnlock()
+	s.maybeRebalance()
+}
+
+// Delete removes one element with key k from the owning shard and reports
+// whether one was found; duplicate semantics are Optimistic.Delete's.
+// Panics on a NaN key.
+func (s *Sharded[K, V]) Delete(k K) bool {
+	if k != k {
+		panic("fitingtree: Delete with NaN key")
+	}
+	s.reshape.RLock()
+	ss := s.set.Load()
+	ok := ss.shards[ss.shardFor(k)].Delete(k)
+	s.reshape.RUnlock()
+	if ok {
+		s.maybeRebalance()
+	}
+	return ok
+}
+
+// maybeRebalance runs the skew check on one write in shardSkewCheckEvery
+// and triggers a boundary rebuild when it reports drift.
+func (s *Sharded[K, V]) maybeRebalance() {
+	if s.writes.Add(1)%shardSkewCheckEvery != 0 {
+		return
+	}
+	if s.needsRebalance(s.set.Load()) {
+		s.rebalance()
+	}
+}
+
+// needsRebalance reports whether the shard set's sizes have drifted enough
+// to warrant an O(n) re-partition: the facade is under its target shard
+// count, or the largest shard exceeds the skew factor times the mean. An
+// amortization guard requires the total size to have moved by at least a
+// quarter since fences were last computed, so repeated checks against an
+// unsplittable distribution (e.g. one giant duplicate run) stay cheap.
+func (s *Sharded[K, V]) needsRebalance(ss *shardSet[K, V]) bool {
+	f := math.Float64frombits(s.factor.Load())
+	if math.IsInf(f, 1) {
+		return false
+	}
+	total, maxSize := 0, 0
+	for _, sh := range ss.shards {
+		n := sh.Len()
+		total += n
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	if total < s.want*minShardElements {
+		return false
+	}
+	if at := int(s.rebalancedAt.Load()); at > 0 && total < at+at/4 && total > at/2 {
+		return false
+	}
+	if len(ss.shards) < s.want {
+		return true
+	}
+	mean := float64(total) / float64(len(ss.shards))
+	return float64(maxSize) > f*mean
+}
+
+// rebalance recomputes fences from the merged data's segment boundaries
+// and publishes a fresh shard set. Writers are excluded for the duration
+// (exclusive reshape lock); readers keep running against the old set,
+// which stays a complete, consistent snapshot.
+func (s *Sharded[K, V]) rebalance() {
+	s.reshape.Lock()
+	defer s.reshape.Unlock()
+	ss := s.set.Load()
+	if !s.needsRebalance(ss) {
+		return // another writer rebalanced between the check and the lock
+	}
+	states := make([]*ostate[K, V], len(ss.shards))
+	base := ss.versionBase + 2 // keep Version monotone (and even) across the swap
+	for i, sh := range ss.shards {
+		base += sh.Version()
+		states[i] = sh.state.Load()
+	}
+	keys, vals := collectStates(states)
+	starts, weights, err := core.SegmentBoundsOf(keys, ss.opts)
+	if err != nil {
+		// Unreachable: ss.opts was normalized at construction.
+		panic(fmt.Sprintf("fitingtree: rebalance segmentation: %v", err))
+	}
+	ns, err := newShardSet(keys, vals, starts, weights, ss.opts, s.want, base, int(s.flushAt.Load()))
+	if err != nil {
+		// Unreachable: the collected run is sorted and NaN-free.
+		panic(fmt.Sprintf("fitingtree: rebalance: %v", err))
+	}
+	s.set.Store(ns)
+	s.rebalancedAt.Store(int64(len(keys)))
+}
+
+// collectStates drains the given shard states into one sorted run, pending
+// deltas folded in (the same fold a flush applies).
+func collectStates[K Key, V any](states []*ostate[K, V]) ([]K, []V) {
+	total := 0
+	for _, st := range states {
+		total += st.size
+	}
+	keys := make([]K, 0, total)
+	vals := make([]V, 0, total)
+	for _, st := range states {
+		if lo, hi, ok := st.bounds(); ok {
+			st.ascendRange(lo, hi, func(k K, v V) bool {
+				keys = append(keys, k)
+				vals = append(vals, v)
+				return true
+			})
+		}
+	}
+	return keys, vals
+}
+
+// snapshotAll captures one coherent cut across every shard: writers are
+// excluded only for the O(shards) state loads, then the immutable states
+// are readable without any lock. EncodeSharded builds on this.
+func (s *Sharded[K, V]) snapshotAll() (*shardSet[K, V], []*ostate[K, V]) {
+	s.reshape.Lock()
+	ss := s.set.Load()
+	states := make([]*ostate[K, V], len(ss.shards))
+	for i, sh := range ss.shards {
+		states[i] = sh.state.Load()
+	}
+	s.reshape.Unlock()
+	return ss, states
+}
