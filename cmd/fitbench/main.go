@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, all")
 		n        = flag.Int("n", 1_000_000, "base dataset size")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		probes   = flag.Int("probes", 100_000, "lookup probes per measurement")
@@ -63,9 +63,13 @@ func main() {
 		"shardwrite": func() {
 			writeShardWriteJSON(*jsonPath, cfg, bench.ExtShardWrite(os.Stdout, cfg))
 		},
+		"flushstall": func() {
+			writeFlushStallJSON(*jsonPath, cfg, bench.ExtFlushStall(os.Stdout, cfg))
+		},
 		"all": func() {
 			bench.AllButParallel(os.Stdout, cfg)
-			writeShardWriteJSON(shardWritePath(*jsonPath), cfg, bench.ExtShardWrite(os.Stdout, cfg))
+			writeShardWriteJSON(suffixedPath(*jsonPath, "_shardwrite"), cfg, bench.ExtShardWrite(os.Stdout, cfg))
+			writeFlushStallJSON(suffixedPath(*jsonPath, "_flushstall"), cfg, bench.ExtFlushStall(os.Stdout, cfg))
 			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
 		},
 	}
@@ -75,8 +79,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *jsonPath != "" && *exp != "parallel" && *exp != "shardwrite" && *exp != "all" {
-		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, or all\n")
+	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "all": true}
+	if *jsonPath != "" && !jsonExps[*exp] {
+		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, or all\n")
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -110,17 +115,36 @@ func writeShardWriteJSON(path string, cfg bench.Config, points []bench.ShardWrit
 	})
 }
 
-// shardWritePath derives the shardwrite report's file name when -exp all
-// captures both experiments under one -json flag: "x.json" becomes
-// "x_shardwrite.json". Empty stays empty (no capture requested).
-func shardWritePath(path string) string {
+// writeFlushStallJSON writes the flushstall experiment's machine-readable
+// report to path; it is a no-op when path is empty.
+func writeFlushStallJSON(path string, cfg bench.Config, points []bench.FlushStallPoint) {
+	flushEvery := 0
+	if len(points) > 0 {
+		flushEvery = points[0].FlushEvery
+	}
+	writeJSON(path, bench.FlushStallReport{
+		Experiment: "flushstall",
+		N:          cfg.N,
+		FlushEvery: flushEvery,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	})
+}
+
+// suffixedPath derives a sibling report's file name when -exp all
+// captures several experiments under one -json flag: "x.json" with
+// suffix "_shardwrite" becomes "x_shardwrite.json". Empty stays empty
+// (no capture requested).
+func suffixedPath(path, suffix string) string {
 	if path == "" {
 		return ""
 	}
 	if ext := filepath.Ext(path); ext != "" {
-		return strings.TrimSuffix(path, ext) + "_shardwrite" + ext
+		return strings.TrimSuffix(path, ext) + suffix + ext
 	}
-	return path + "_shardwrite"
+	return path + suffix
 }
 
 // writeJSON marshals a report to path; empty path is a no-op.

@@ -55,24 +55,31 @@ func Encode[K Key, V any](t *Tree[K, V], w io.Writer) error {
 // state to w. A state is an immutable value, so one atomic load yields a
 // consistent cut of the whole index without blocking writers or readers:
 // writes published after the call starts are simply not part of the
-// snapshot. Pending delta writes (inserts and tombstones) are folded into
-// the stream, and the format matches Encode's, so the result decodes with
-// either Decode (as a bare Tree) or DecodeOptimistic.
+// snapshot. Pending delta writes (inserts and tombstones, in the frozen
+// delta of an in-flight background flush as well as the active delta) are
+// folded into the stream, and the format matches Encode's, so the result
+// decodes with either Decode (as a bare Tree) or DecodeOptimistic. The
+// fold at encode time applies the same layering the background flusher
+// applies physically, so encoding mid-flush yields bytes identical to
+// encoding after a SyncFlush.
 func EncodeOptimistic[K Key, V any](o *Optimistic[K, V], w io.Writer) error {
 	st := o.state.Load()
 	keys, vals := collectStates([]*ostate[K, V]{st})
 	return encodeSnapshot(w, st.tree.Options(), keys, vals)
 }
 
-// bounds returns the smallest and largest key across the base tree and the
-// delta, reporting false when the state is empty.
+// bounds returns the smallest and largest key across the base tree and
+// both pending deltas, reporting false when the state is empty.
 func (st *ostate[K, V]) bounds() (lo, hi K, ok bool) {
 	if st.tree.Len() > 0 {
 		lo, _, _ = st.tree.Min()
 		hi, _, _ = st.tree.Max()
 		ok = true
 	}
-	if d := st.delta; d != nil && len(d.keys) > 0 {
+	for _, d := range [...]*odelta[K, V]{st.frozen, st.delta} {
+		if d == nil || len(d.keys) == 0 {
+			continue
+		}
 		if !ok || d.keys[0] < lo {
 			lo = d.keys[0]
 		}

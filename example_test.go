@@ -24,9 +24,10 @@ func ExampleOptimistic() {
 	idx.Insert(35, "f") // 1st write: pending in the delta, already visible
 	fmt.Println(idx.Lookup(35))
 
-	idx.Insert(45, "g") // 2nd write: triggers the page-granular COW flush
+	idx.Insert(45, "g") // 2nd write: trips the page-granular COW flush
 	fmt.Println(idx.Lookup(45))
 	fmt.Println(idx.Len())
+	idx.Close() // drain: on multi-core runtimes the flush runs in the background
 	// Output:
 	// c true
 	// f true

@@ -105,6 +105,8 @@ func TestExperimentSmoke(t *testing.T) {
 		{"extrange", func(w *bytes.Buffer) { ExtRange(w, quickCfg()) }},
 		{"extablation", func(w *bytes.Buffer) { ExtAblation(w, quickCfg()) }},
 		{"parallel", func(w *bytes.Buffer) { ExtParallel(w, quickCfg()) }},
+		{"shardwrite", func(w *bytes.Buffer) { ExtShardWrite(w, quickCfg()) }},
+		{"flushstall", func(w *bytes.Buffer) { ExtFlushStall(w, quickCfg()) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

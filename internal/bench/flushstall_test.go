@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fitingtree"
+	"fitingtree/internal/workload"
+)
+
+// stallTreeCache builds each benchmark base dataset at most once, and only
+// when a matching sub-benchmark actually executes.
+var stallKeyCache = map[int][]uint64{}
+
+func stallKeysCached(b *testing.B, n int) []uint64 {
+	b.Helper()
+	if ks, ok := stallKeyCache[n]; ok {
+		return ks
+	}
+	ks := workload.Weblogs(n, 1)
+	stallKeyCache[n] = ks
+	return ks
+}
+
+// BenchmarkFlushStall measures the writer-observed flush stall: every
+// Insert is timed individually and the worst case and p99 are reported as
+// extra metrics (max-stall-ns, p99-stall-ns) next to the usual ns/op. In
+// inline mode the insert that trips the flush threshold pays the whole
+// MergeCOW merge — at n=1M the worst case is milliseconds — while in
+// async mode it pays only the freeze, so with a free core for the
+// background flusher the max stall drops by orders of magnitude. On a
+// single-core machine the two modes converge: the merge has to steal the
+// writer's only CPU wherever the scheduler schedules it (see
+// ExtFlushStall).
+func BenchmarkFlushStall(b *testing.B) {
+	const flushEvery = 1024
+	for _, n := range []int{100_000, 1_000_000} {
+		for _, mode := range []string{"inline", "async"} {
+			b.Run(fmt.Sprintf("%s/n=%d/delta=%d", mode, n, flushEvery), func(b *testing.B) {
+				base := stallKeysCached(b, n)
+				tr, err := fitingtree.BulkLoad(base, positions(len(base)), fitingtree.Options{Error: 32, BufferSize: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				o := fitingtree.NewOptimistic(tr)
+				o.SetFlushEvery(flushEvery)
+				o.SetAsyncFlush(mode == "async")
+				keys := flushStallKeys(base, b.N, 42)
+				lat := make([]int64, b.N)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t0 := time.Now()
+					o.Insert(keys[i], keys[i])
+					lat[i] = time.Since(t0).Nanoseconds()
+				}
+				b.StopTimer()
+				o.Close()
+				_, p99, _, max := stallPercentiles(lat)
+				b.ReportMetric(p99, "p99-stall-ns")
+				b.ReportMetric(max, "max-stall-ns")
+			})
+		}
+	}
+}

@@ -96,6 +96,30 @@ func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 	return nt
 }
 
+// MergeCOW2 folds two delta layers into the tree copy-on-write: first is
+// merged exactly as MergeCOW would, then second is merged into that
+// result. The layering mirrors the Optimistic facade's two-delta read
+// protocol (frozen delta below, active delta on top): second's tombstone
+// counts are interpreted against the scan order of the tree *after* first
+// is applied — surviving base matches, then first's adds in insertion
+// order — which is exactly the order mergeRegion materializes, so reads
+// before and after the fold observe identical content. Implemented as two
+// page-granular passes rather than one composed op list: composing
+// tombstone counts across layers would need per-key base-match counts (an
+// extra O(ops) tree walk), while the second pass only re-touches pages
+// second actually dirties. Empty layers are skipped; with both empty the
+// receiver itself is returned.
+func (t *Tree[K, V]) MergeCOW2(first, second []MergeOp[K, V]) *Tree[K, V] {
+	nt := t
+	if len(first) > 0 {
+		nt = nt.MergeCOW(first)
+	}
+	if len(second) > 0 {
+		nt = nt.MergeCOW(second)
+	}
+	return nt
+}
+
 // buildPages re-segments a sorted merged run into fresh pages, counting the
 // work in ctr. The run's backing arrays are shared by sub-slicing, as in
 // merge.

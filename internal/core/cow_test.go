@@ -439,6 +439,104 @@ func benchOps(tr *Tree[uint64, uint64], delta int) []MergeOp[uint64, uint64] {
 	return ops
 }
 
+// TestMergeCOW2Layering pins the two-delta entry point against the
+// layered reference model: applying the second op list to the model
+// stream *after* the first (so its tombstone counts address surviving
+// base matches, then the first layer's adds, in scan order) must match
+// MergeCOW2's physical fold — the contract the Optimistic facade's
+// frozen/active delta pair relies on.
+func TestMergeCOW2Layering(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	genOps := func(stream []pair, maxKey uint64) []MergeOp[uint64, uint64] {
+		opKeys := map[uint64]bool{}
+		var ops []MergeOp[uint64, uint64]
+		for len(ops) < 1+rng.Intn(40) {
+			ok := uint64(rng.Intn(int(maxKey) + 10))
+			if opKeys[ok] {
+				continue
+			}
+			opKeys[ok] = true
+			op := MergeOp[uint64, uint64]{Key: ok}
+			for a := rng.Intn(3); a > 0; a-- {
+				op.Adds = append(op.Adds, 2_000_000+uint64(rng.Intn(1_000_000)))
+			}
+			// Tombstones bounded by the layer's own view of live matches.
+			live := 0
+			for _, p := range stream {
+				if p.k == ok {
+					live++
+				}
+			}
+			if live > 0 && rng.Intn(2) == 0 {
+				op.Dels = 1 + rng.Intn(live)
+			}
+			if len(op.Adds) == 0 && op.Dels == 0 {
+				op.Adds = []uint64{999}
+			}
+			ops = append(ops, op)
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
+		return ops
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 200 + rng.Intn(2000)
+		keys := make([]uint64, n)
+		k := uint64(0)
+		for i := range keys {
+			if rng.Intn(3) > 0 {
+				k += uint64(rng.Intn(4))
+			}
+			keys[i] = k
+		}
+		base := buildCOWBase(t, keys, Options{Error: 8 + rng.Intn(24), BufferSize: 4})
+		before := contents(base)
+
+		first := genOps(before, k)
+		middle := applyOpsModel(before, first)
+		// The second layer's tombstones are generated against the
+		// intermediate stream, exactly like an active delta whose counts
+		// are relative to tree ⊕ frozen.
+		second := genOps(middle, k)
+		want := applyOpsModel(middle, second)
+
+		merged := base.MergeCOW2(first, second)
+		if err := merged.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: merged invariants: %v", trial, err)
+		}
+		got := contents(merged)
+		if merged.Len() != len(want) || len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d elements (Len %d), want %d", trial, len(got), merged.Len(), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: element %d = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+		// The receiver is untouched.
+		after := contents(base)
+		for i := range after {
+			if after[i] != before[i] {
+				t.Fatalf("trial %d: base element %d changed: %v -> %v", trial, i, before[i], after[i])
+			}
+		}
+		// Degenerate layers: both empty returns the receiver itself; one
+		// empty layer reduces to a plain MergeCOW of the other.
+		if base.MergeCOW2(nil, nil) != base {
+			t.Fatalf("trial %d: empty fold did not return the receiver", trial)
+		}
+		oneWant := applyOpsModel(before, first)
+		oneGot := contents(base.MergeCOW2(first, nil))
+		if len(oneGot) != len(oneWant) {
+			t.Fatalf("trial %d: first-only fold %d elements, want %d", trial, len(oneGot), len(oneWant))
+		}
+		for i := range oneGot {
+			if oneGot[i] != oneWant[i] {
+				t.Fatalf("trial %d: first-only element %d = %v, want %v", trial, i, oneGot[i], oneWant[i])
+			}
+		}
+	}
+}
+
 // benchTreeCached builds each base tree at most once per benchmark run,
 // and only when a matching sub-benchmark actually executes, so a filtered
 // smoke run (e.g. CI's n=100000-only pass) never pays for the other sizes.

@@ -1,6 +1,7 @@
 package fitingtree
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +11,15 @@ import (
 // DefaultFlushEvery is the number of pending writes that triggers an
 // Optimistic facade's delta flush (merge into a freshly built tree).
 const DefaultFlushEvery = 1024
+
+// FlushBackpressureFactor bounds the asynchronous flush pipeline's lag.
+// While a frozen delta is still being merged in the background, writers
+// keep absorbing new writes into the active delta; once the active delta
+// reaches FlushBackpressureFactor times the flush threshold, the tripping
+// writer falls back to a synchronous inline flush of both deltas. The
+// frozen slot has depth one, so this is the only way pending state could
+// otherwise grow without bound.
+const FlushBackpressureFactor = 4
 
 // Optimistic is a concurrency facade over a Tree with latch-free reads
 // under a single-writer model, the regime the FB+-tree line of work calls
@@ -30,14 +40,26 @@ const DefaultFlushEvery = 1024
 // are reclaimed by the garbage collector once the last reader drops them,
 // which is what makes the scheme safe without epoch bookkeeping.
 //
-// Once the delta reaches the flush threshold (SetFlushEvery), the writer
-// folds it into the base tree with a page-granular copy-on-write merge
+// Once the delta reaches the flush threshold (SetFlushEvery), it is folded
+// into the base tree with a page-granular copy-on-write merge
 // (Tree.MergeCOW): only the pages the delta's keys fall into are rebuilt,
 // and the published tree shares every untouched page with its predecessor,
 // so flush cost scales with the delta size, not the tree size. Readers
 // holding the old state keep a complete, consistent tree; the shared pages
 // are immutable and the unshared ones are reclaimed by the garbage
 // collector with the old state.
+//
+// With the asynchronous pipeline enabled (the default when GOMAXPROCS > 1
+// at construction; see NewOptimistic and SetAsyncFlush), the merge itself
+// runs off the writer's critical path: the tripping writer atomically
+// freezes the delta (a fresh empty active delta takes new writes) and a
+// background flusher goroutine runs the merge and publishes the result,
+// so writer tail latency tracks delta-append cost rather than merge cost.
+// Reads consult tree + frozen delta + active delta through the same
+// snapshot protocol; a backpressure threshold (FlushBackpressureFactor)
+// bounds how far writers can run ahead of the flusher; SyncFlush and
+// Close drain the pipeline; SetAsyncFlush(false) restores the fully
+// inline flush.
 //
 // Scans and batch lookups run against one consistent snapshot: writes
 // published during a scan are not observed by it.
@@ -46,14 +68,32 @@ type Optimistic[K Key, V any] struct {
 	version atomic.Uint64
 	state   atomic.Pointer[ostate[K, V]]
 	flushAt atomic.Int64
+
+	// asyncOff disables the background flush pipeline; flushes then run
+	// inline on the tripping writer. The zero value means async is on.
+	asyncOff atomic.Bool
+	// flusher is true while a background flush worker goroutine is live;
+	// it is the spawn guard, so at most one worker runs per facade.
+	flusher atomic.Bool
+	// workers tracks live flush workers so Close can await their exit.
+	workers sync.WaitGroup
 }
 
-// ostate is one immutable published state. Neither the tree nor the delta
-// is ever mutated after publication.
+// ostate is one immutable published state. Neither the tree nor either
+// delta is ever mutated after publication.
 type ostate[K Key, V any] struct {
-	tree  *Tree[K, V]
-	delta *odelta[K, V] // nil when no writes are pending
-	size  int           // live elements: tree minus deletions plus inserts
+	tree *Tree[K, V]
+	// frozen is a delta handed to the background flusher and no longer
+	// written to (nil when no flush is in flight). Its writes are relative
+	// to tree, exactly as an active delta's are.
+	frozen *odelta[K, V]
+	// delta is the active delta taking new writes. Its tombstone counts
+	// are relative to the layered view tree ⊕ frozen: they remove the
+	// first N matches of [surviving tree matches, then frozen adds] in
+	// scan order. MergeCOW materializes exactly that order, so folding the
+	// frozen delta into the tree never changes what the active delta means.
+	delta *odelta[K, V]
+	size  int // live elements: tree minus deletions plus inserts
 }
 
 // odelta is an immutable sorted set of pending per-key write operations.
@@ -70,9 +110,14 @@ type odelta[K Key, V any] struct {
 
 // NewOptimistic wraps an existing tree. The tree must not be used directly
 // afterwards: the facade owns it and replaces it wholesale on flush.
+// Asynchronous flushing defaults to on when GOMAXPROCS > 1 at
+// construction time and off on a single-processor runtime, where a
+// background merge has no spare core to run on and only steals the
+// writer's timeslice; SetAsyncFlush overrides the default either way.
 func NewOptimistic[K Key, V any](t *Tree[K, V]) *Optimistic[K, V] {
 	o := &Optimistic[K, V]{}
 	o.flushAt.Store(DefaultFlushEvery)
+	o.asyncOff.Store(runtime.GOMAXPROCS(0) <= 1)
 	o.state.Store(&ostate[K, V]{tree: t, size: t.Len()})
 	return o
 }
@@ -80,12 +125,54 @@ func NewOptimistic[K Key, V any](t *Tree[K, V]) *Optimistic[K, V] {
 // SetFlushEvery sets the number of pending writes that triggers a delta
 // flush. The threshold is an atomic, so it is safe to change at any time,
 // including while readers and writers are active; the new value applies
-// from the next write.
+// from the next write. It panics if n < 1: a non-positive threshold has
+// no meaning (every write would both trip and not satisfy it), and
+// silently clamping hid caller bugs.
 func (o *Optimistic[K, V]) SetFlushEvery(n int) {
 	if n < 1 {
-		n = 1
+		panic("fitingtree: SetFlushEvery threshold must be >= 1")
 	}
 	o.flushAt.Store(int64(n))
+}
+
+// SetAsyncFlush enables or disables the asynchronous flush pipeline
+// (enabled by default on a multi-processor runtime; see NewOptimistic).
+// Enabled, the writer that trips the flush threshold freezes the delta
+// and a background goroutine runs the merge. Disabled,
+// the tripping writer runs the merge inline (the pre-pipeline behavior,
+// useful for deterministic tests and for comparison benchmarks). Safe to
+// toggle at any time; disabling does not drain an in-flight flush — use
+// SyncFlush or Close for that.
+func (o *Optimistic[K, V]) SetAsyncFlush(enabled bool) {
+	o.asyncOff.Store(!enabled)
+}
+
+// SyncFlush synchronously folds every pending write — the frozen delta
+// (if a background flush is in flight) and the active delta — into the
+// base tree and publishes the clean state. If the background flusher
+// completes its own merge of a delta this call already folded, its stale
+// publication is discarded. Afterwards the published state has no pending
+// deltas; concurrent writers may of course add new ones immediately.
+func (o *Optimistic[K, V]) SyncFlush() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := o.state.Load()
+	if st.frozen == nil && st.delta == nil {
+		return
+	}
+	o.publish(&ostate[K, V]{tree: st.fold(), size: st.size})
+}
+
+// Close drains the flush pipeline: it disables asynchronous flushing,
+// synchronously folds all pending writes, and waits for the background
+// flusher (if any) to exit. The facade remains fully usable afterwards —
+// subsequent writes simply flush inline on the tripping writer, and
+// SetAsyncFlush(true) re-enables the pipeline. Close is idempotent; it
+// must not race a concurrent SetAsyncFlush(true).
+func (o *Optimistic[K, V]) Close() {
+	o.asyncOff.Store(true)
+	o.SyncFlush()
+	o.workers.Wait()
 }
 
 // Version returns the current write stamp. It is even when no publication
@@ -101,7 +188,7 @@ func (o *Optimistic[K, V]) Lookup(k K) (V, bool) {
 	// and the extra call costs measurable latency on the hottest path.
 	var val V
 	var ok bool
-	if st.delta == nil {
+	if st.delta == nil && st.frozen == nil {
 		val, ok = st.tree.Lookup(k)
 	} else {
 		val, ok = st.lookup(k)
@@ -145,35 +232,19 @@ func (o *Optimistic[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 func (o *Optimistic[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	st := o.state.Load()
 	vals, found := st.tree.LookupBatch(keys)
-	if d := st.delta; d != nil {
-		for i, k := range keys {
-			j, ok := d.find(k)
-			if !ok {
-				continue
-			}
-			if n := len(d.adds[j]); n > 0 {
-				vals[i], found[i] = d.adds[j][n-1], true
-			} else if found[i] {
-				// Only deletions are pending for k: the survivors are the
-				// base matches past the first dels[j] in Each order.
-				// Resolve them from the delta index already in hand
-				// instead of re-running a full point lookup (st.lookup
-				// would redo the delta search before its page walk).
-				skip := d.dels[j]
-				var val V
-				ok := false
-				seen := 0
-				st.tree.Each(k, func(v V) bool {
-					if seen == skip {
-						val, ok = v, true
-						return false
-					}
-					seen++
-					return true
-				})
-				vals[i], found[i] = val, ok
-			}
+	if st.delta == nil && st.frozen == nil {
+		return vals, found
+	}
+	for i, k := range keys {
+		ai, aok := st.delta.find(k)
+		fi, fok := st.frozen.find(k)
+		if !aok && !fok {
+			continue // the base-tree batch result stands
 		}
+		// Resolve from the delta indices already in hand instead of
+		// re-running a full point lookup (st.lookup would redo both
+		// delta searches before its page walk).
+		vals[i], found[i] = st.resolve(k, fi, fok, ai, aok)
 	}
 	return vals, found
 }
@@ -187,6 +258,9 @@ func (o *Optimistic[K, V]) Stats() Stats {
 	st := o.state.Load()
 	s := st.tree.Stats()
 	s.Elements = st.size
+	if st.frozen != nil {
+		s.Buffered += st.frozen.addN
+	}
 	if st.delta != nil {
 		s.Buffered += st.delta.addN
 	}
@@ -201,23 +275,31 @@ func (o *Optimistic[K, V]) Insert(k K, v V) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st := o.state.Load()
-	o.publish(o.maybeFlush(&ostate[K, V]{
-		tree:  st.tree,
-		delta: st.delta.withInsert(k, v),
-		size:  st.size + 1,
+	o.publishWrite(o.maybeFlush(&ostate[K, V]{
+		tree:   st.tree,
+		frozen: st.frozen,
+		delta:  st.delta.withInsert(k, v),
+		size:   st.size + 1,
 	}))
 }
 
 // Delete removes one element with key k and reports whether one was found.
 //
-// Duplicate semantics: a pending (not yet flushed) insert of k is consumed
-// first, newest first. Otherwise the delta records one more tombstone for
-// k, and tombstones count matches in scan order — the first N matches that
-// Each(k, ...) would visit (page order along the chain, page data before
-// buffered inserts within a page) are treated as removed. Flushing
-// preserves exactly this accounting, so which of several duplicates
-// disappears is deterministic given the scan order, unlike Tree.Delete,
-// which removes whichever duplicate its page search finds first.
+// Duplicate semantics: a pending (not yet frozen or flushed) insert of k
+// is consumed first, newest first. Otherwise the delta records one more
+// tombstone for k, and tombstones count matches in scan order — the first
+// N matches that Each(k, ...) would visit (page order along the chain,
+// page data before buffered inserts within a page, then frozen pending
+// inserts) are treated as removed. Flushing preserves exactly this
+// accounting, so which of several duplicates disappears is deterministic
+// given the scan order and the flush points, unlike Tree.Delete, which
+// removes whichever duplicate its page search finds first. Note that with
+// the asynchronous flusher enabled (the default), *when* a pending insert
+// stops being consumable — because a freeze moved it into the frozen
+// delta — depends on background flush timing, so among duplicates holding
+// distinct values the victim can vary from run to run; workloads that
+// need a deterministic victim should disable async flushing
+// (SetAsyncFlush(false)) or quiesce with SyncFlush before deleting.
 func (o *Optimistic[K, V]) Delete(k K) bool {
 	// Same guard as Insert: a NaN key compares false against everything,
 	// so it would corrupt the sorted-delta invariant silently.
@@ -231,7 +313,7 @@ func (o *Optimistic[K, V]) Delete(k K) bool {
 	if !ok {
 		return false
 	}
-	o.publish(o.maybeFlush(&ostate[K, V]{tree: st.tree, delta: nd, size: st.size - 1}))
+	o.publishWrite(o.maybeFlush(&ostate[K, V]{tree: st.tree, frozen: st.frozen, delta: nd, size: st.size - 1}))
 	return true
 }
 
@@ -243,143 +325,302 @@ func (o *Optimistic[K, V]) publish(next *ostate[K, V]) {
 	o.version.Add(1)
 }
 
-// maybeFlush folds the delta into the base tree once enough writes are
-// pending, using the page-granular copy-on-write merge: the delta becomes
-// a sorted op list (it already is one — keys ascending, adds in insertion
-// order, tombstone counts), and MergeCOW rebuilds only the pages those
-// keys fall into while the new state shares every other page with the old
-// one. Cost is O(delta · pages touched), not O(n). Callers hold o.mu.
+// publishWrite publishes a writer's next state and, when it carries a
+// frozen delta, makes sure a background flush worker is live to merge it.
+// The kick must follow the publish: a worker spawned first could load the
+// pre-freeze state, find no frozen delta, and exit. Callers hold o.mu.
+func (o *Optimistic[K, V]) publishWrite(next *ostate[K, V]) {
+	o.publish(next)
+	if next.frozen != nil {
+		o.kick()
+	}
+}
+
+// maybeFlush decides what happens once enough writes are pending. In
+// asynchronous mode (the default) the active delta is frozen — handed to
+// the background flusher as an immutable flush input — and a fresh active
+// delta takes new writes, so the tripping writer pays O(1) instead of the
+// merge. If a frozen delta is still in flight, writers keep absorbing
+// writes until the backpressure bound, then fall back to a synchronous
+// inline fold of both deltas. In inline mode (SetAsyncFlush(false)) the
+// fold always runs on the tripping writer. Either way the fold is the
+// page-granular copy-on-write merge: the delta already is a sorted op
+// list (keys ascending, adds in insertion order, tombstone counts), and
+// MergeCOW rebuilds only the pages those keys fall into while the new
+// state shares every other page with the old one — O(delta · pages
+// touched), not O(n). Callers hold o.mu.
 func (o *Optimistic[K, V]) maybeFlush(st *ostate[K, V]) *ostate[K, V] {
 	d := st.delta
-	if d == nil || int64(d.addN+d.delN) < o.flushAt.Load() {
+	if d == nil {
 		return st
 	}
+	// One atomic load serves both the trip check and the backpressure
+	// check: with two loads, a concurrent SetFlushEvery could yield a
+	// backpressure bound inconsistent with the threshold that tripped.
+	flushAt := o.flushAt.Load()
+	pending := int64(d.addN + d.delN)
+	if pending < flushAt {
+		return st
+	}
+	if o.asyncOff.Load() {
+		// Inline mode. A frozen delta can linger from a just-disabled
+		// pipeline; fold it below the active delta, same layering as reads.
+		return &ostate[K, V]{tree: st.fold(), size: st.size}
+	}
+	if st.frozen == nil {
+		// Freeze: the active delta becomes the flush input, new writes go
+		// to a fresh active delta. publishWrite kicks the flusher.
+		return &ostate[K, V]{tree: st.tree, frozen: d, size: st.size}
+	}
+	if pending < flushAt*FlushBackpressureFactor {
+		return st // flusher busy; keep absorbing writes
+	}
+	// Backpressure: the flusher is lagging and the active delta has grown
+	// past the bound. Fold both deltas synchronously so pending state
+	// cannot grow without limit; the flusher's stale merge is discarded
+	// when it fails the frozen-identity check at publication.
+	return &ostate[K, V]{tree: st.fold(), size: st.size}
+}
+
+// kick ensures a background flush worker is live. At most one worker runs
+// per facade; the CAS is the spawn guard. Callers hold o.mu, which is
+// what orders workers.Add against Close's workers.Wait.
+func (o *Optimistic[K, V]) kick() {
+	if o.flusher.CompareAndSwap(false, true) {
+		o.workers.Add(1)
+		go o.flushWorker()
+	}
+}
+
+// flushWorker drains the frozen-delta slot: it merges off-thread with no
+// lock held, then briefly takes the writer mutex to publish. The state
+// may have moved while it merged (writers appended to the active delta,
+// or a SyncFlush / backpressure fold consumed the frozen delta); the
+// frozen-identity check below keeps only merges that are still current —
+// a same frozen pointer implies a same base tree, because every path
+// that replaces the tree also clears the frozen slot.
+func (o *Optimistic[K, V]) flushWorker() {
+	defer o.workers.Done()
+	for {
+		st := o.state.Load()
+		if st.frozen == nil {
+			o.flusher.Store(false)
+			// A freeze published between the load above and the store may
+			// have seen this worker as live and skipped its kick; re-check
+			// and re-claim the worker slot if so.
+			if o.state.Load().frozen != nil && o.flusher.CompareAndSwap(false, true) {
+				continue
+			}
+			return
+		}
+		merged := st.tree.MergeCOW(st.frozen.ops())
+		o.mu.Lock()
+		if cur := o.state.Load(); cur.frozen == st.frozen {
+			o.publish(&ostate[K, V]{tree: merged, delta: cur.delta, size: cur.size})
+		}
+		o.mu.Unlock()
+	}
+}
+
+// fold returns the state's base tree with both pending deltas physically
+// merged in, frozen layer first — the same layering reads apply.
+func (st *ostate[K, V]) fold() *Tree[K, V] {
+	var frozen, active []core.MergeOp[K, V]
+	if st.frozen != nil {
+		frozen = st.frozen.ops()
+	}
+	if st.delta != nil {
+		active = st.delta.ops()
+	}
+	return st.tree.MergeCOW2(frozen, active)
+}
+
+// ops converts the delta into MergeCOW's sorted op-list form.
+func (d *odelta[K, V]) ops() []core.MergeOp[K, V] {
 	ops := make([]core.MergeOp[K, V], len(d.keys))
 	for i, k := range d.keys {
 		ops[i] = core.MergeOp[K, V]{Key: k, Adds: d.adds[i], Dels: d.dels[i]}
 	}
-	return &ostate[K, V]{tree: st.tree.MergeCOW(ops), size: st.size}
+	return ops
 }
 
 // lookup resolves a point read against this state.
 func (st *ostate[K, V]) lookup(k K) (V, bool) {
-	d := st.delta
-	if d == nil {
+	ai, aok := st.delta.find(k)
+	fi, fok := st.frozen.find(k)
+	if !aok && !fok {
 		return st.tree.Lookup(k)
 	}
-	i, ok := d.find(k)
-	if !ok {
-		return st.tree.Lookup(k)
+	return st.resolve(k, fi, fok, ai, aok)
+}
+
+// resolve returns a live value for k given both deltas' search results —
+// the newest pending insert when one survives, else the first surviving
+// match of the layered view. Callers pass the indices find returned so
+// the binary searches are not repeated.
+func (st *ostate[K, V]) resolve(k K, fi int, fok bool, ai int, aok bool) (V, bool) {
+	skipA := 0
+	if aok {
+		if adds := st.delta.adds[ai]; len(adds) > 0 {
+			return adds[len(adds)-1], true
+		}
+		skipA = st.delta.dels[ai]
 	}
-	if n := len(d.adds[i]); n > 0 {
-		return d.adds[i][n-1], true
+	skipF := 0
+	var addsF []V
+	if fok {
+		skipF, addsF = st.frozen.dels[fi], st.frozen.adds[fi]
 	}
-	// Only deletions are pending for k: the survivors are the base
-	// matches past the first dels[i] in Each order.
-	skip := d.dels[i]
+	if skipA == 0 && len(addsF) > 0 {
+		// No active tombstones, so the newest frozen add survives.
+		return addsF[len(addsF)-1], true
+	}
+	// First survivor of the layered view: the base match past the frozen
+	// tombstones and then the active ones (active tombstones consume base
+	// survivors before frozen adds).
+	target := skipF + skipA
 	var val V
 	found := false
 	n := 0
 	st.tree.Each(k, func(v V) bool {
-		if n == skip {
+		if n == target {
 			val, found = v, true
 			return false
 		}
 		n++
 		return true
 	})
-	return val, found
+	if found {
+		return val, true
+	}
+	// Base matches exhausted at n (≤ target): the remaining active
+	// tombstones fall on the frozen adds.
+	surv := n - skipF
+	if surv < 0 {
+		surv = 0
+	}
+	if rem := skipA - surv; rem < len(addsF) {
+		return addsF[len(addsF)-1], true
+	}
+	var zero V
+	return zero, false
 }
 
-// each visits every live element with key k: surviving base matches, then
-// pending inserts.
-func (st *ostate[K, V]) each(k K, fn func(v V) bool) {
-	skip := 0
-	var adds []V
-	if d := st.delta; d != nil {
+// eachFn yields every match of one key in scan order.
+type eachFn[K Key, V any] func(k K, fn func(v V) bool)
+
+// overlayEach layers one delta over a per-key match sequence: tombstones
+// skip the head of the base sequence, pending inserts append after it.
+// Applying it twice — frozen over the tree, active over that — yields the
+// facade's full two-delta read protocol.
+func overlayEach[K Key, V any](base eachFn[K, V], d *odelta[K, V]) eachFn[K, V] {
+	if d == nil {
+		return base
+	}
+	return func(k K, fn func(v V) bool) {
+		skip := 0
+		var adds []V
 		if i, ok := d.find(k); ok {
 			skip, adds = d.dels[i], d.adds[i]
 		}
-	}
-	stopped := false
-	n := 0
-	st.tree.Each(k, func(v V) bool {
-		if n < skip {
-			n++
+		stopped := false
+		n := 0
+		base(k, func(v V) bool {
+			if n < skip {
+				n++
+				return true
+			}
+			if !fn(v) {
+				stopped = true
+				return false
+			}
 			return true
-		}
-		if !fn(v) {
-			stopped = true
-			return false
-		}
-		return true
-	})
-	if stopped {
-		return
-	}
-	for _, v := range adds {
-		if !fn(v) {
+		})
+		if stopped {
 			return
+		}
+		for _, v := range adds {
+			if !fn(v) {
+				return
+			}
 		}
 	}
 }
 
-// ascendRange merges the base-tree scan with the pending delta in key
-// order: per key, surviving base matches first, then pending inserts in
-// insertion order.
-func (st *ostate[K, V]) ascendRange(lo, hi K, fn func(k K, v V) bool) {
-	d := st.delta
+// each visits every live element with key k: surviving base matches, then
+// frozen pending inserts, then active pending inserts.
+func (st *ostate[K, V]) each(k K, fn func(v V) bool) {
+	overlayEach(overlayEach(st.tree.Each, st.frozen), st.delta)(k, fn)
+}
+
+// scanFn is an ordered range scan: it calls fn for every element with
+// lo <= key <= hi in ascending key order.
+type scanFn[K Key, V any] func(lo, hi K, fn func(k K, v V) bool)
+
+// overlayScan layers one delta over an ordered range scan: per key,
+// tombstones skip the head of the underlying match run and pending
+// inserts are emitted after it, with delta-only keys merged in key order.
+// Like overlayEach, two applications produce the two-delta protocol.
+func overlayScan[K Key, V any](base scanFn[K, V], d *odelta[K, V]) scanFn[K, V] {
 	if d == nil {
-		st.tree.AscendRange(lo, hi, fn)
-		return
+		return base
 	}
-	di := lowerBound(d.keys, lo)
-	// emitDeltaTo flushes pending inserts for delta keys up to bound
-	// (exclusive, or inclusive when incl), reporting false on early stop.
-	emitDeltaTo := func(bound K, incl bool) bool {
-		for di < len(d.keys) {
-			dk := d.keys[di]
-			if dk > hi || dk > bound || (dk == bound && !incl) {
-				return true
+	return func(lo, hi K, fn func(k K, v V) bool) {
+		di := lowerBound(d.keys, lo)
+		// emitDeltaTo flushes pending inserts for delta keys up to bound
+		// (exclusive, or inclusive when incl), reporting false on early stop.
+		emitDeltaTo := func(bound K, incl bool) bool {
+			for di < len(d.keys) {
+				dk := d.keys[di]
+				if dk > hi || dk > bound || (dk == bound && !incl) {
+					return true
+				}
+				for _, v := range d.adds[di] {
+					if !fn(dk, v) {
+						return false
+					}
+				}
+				di++
 			}
-			for _, v := range d.adds[di] {
-				if !fn(dk, v) {
+			return true
+		}
+		stopped := false
+		var cur K
+		haveCur := false
+		skip, seen := 0, 0
+		base(lo, hi, func(k K, v V) bool {
+			if !haveCur || k != cur {
+				if !emitDeltaTo(k, false) {
+					stopped = true
 					return false
 				}
+				haveCur, cur, seen, skip = true, k, 0, 0
+				if di < len(d.keys) && d.keys[di] == k {
+					skip = d.dels[di]
+				}
 			}
-			di++
-		}
-		return true
-	}
-	stopped := false
-	var cur K
-	haveCur := false
-	skip, seen := 0, 0
-	st.tree.AscendRange(lo, hi, func(k K, v V) bool {
-		if !haveCur || k != cur {
-			if !emitDeltaTo(k, false) {
+			if seen < skip {
+				seen++
+				return true
+			}
+			if !fn(k, v) {
 				stopped = true
 				return false
 			}
-			haveCur, cur, seen, skip = true, k, 0, 0
-			if di < len(d.keys) && d.keys[di] == k {
-				skip = d.dels[di]
-			}
-		}
-		if seen < skip {
-			seen++
 			return true
+		})
+		if stopped {
+			return
 		}
-		if !fn(k, v) {
-			stopped = true
-			return false
-		}
-		return true
-	})
-	if stopped {
-		return
+		emitDeltaTo(hi, true)
 	}
-	emitDeltaTo(hi, true)
+}
+
+// ascendRange merges the base-tree scan with both pending deltas in key
+// order: per key, surviving base matches first, then frozen pending
+// inserts, then active pending inserts, each in insertion order.
+func (st *ostate[K, V]) ascendRange(lo, hi K, fn func(k K, v V) bool) {
+	overlayScan(overlayScan(st.tree.AscendRange, st.frozen), st.delta)(lo, hi, fn)
 }
 
 // find returns the index of k in the delta, nil-safe.
@@ -405,9 +646,11 @@ func (d *odelta[K, V]) withInsert(k K, v V) *odelta[K, V] {
 	return nd
 }
 
-// withDelete returns a copy of the state's delta with one element of key k
-// removed, or ok=false when no live element with key k exists. A pending
-// insert is consumed first; otherwise one more base match is tombstoned.
+// withDelete returns a copy of the state's active delta with one element
+// of key k removed, or ok=false when no live element with key k exists. A
+// pending insert in the active delta is consumed first; otherwise one
+// more match of the layered view (base tree, then frozen adds) is
+// tombstoned.
 func (st *ostate[K, V]) withDelete(k K) (*odelta[K, V], bool) {
 	d := st.delta
 	i, found := d.find(k)
@@ -424,14 +667,28 @@ func (st *ostate[K, V]) withDelete(k K) (*odelta[K, V], bool) {
 	if found {
 		skip = d.dels[i]
 	}
-	// At least skip+1 base matches must exist for a survivor to remain.
-	n := 0
-	st.tree.Each(k, func(V) bool {
-		n++
-		return n <= skip
-	})
-	if n <= skip {
-		return nil, false
+	// The new tombstone needs a live match in the layered view under the
+	// active delta: surviving base matches past the frozen tombstones,
+	// then frozen pending adds. Frozen adds are immutable (a background
+	// merge may be reading them), so even when the victim is a frozen add
+	// the delete is recorded as one more active tombstone — the "first N
+	// in scan order" accounting reaches through the frozen layer.
+	skipF, addsF := 0, 0
+	if fi, fok := st.frozen.find(k); fok {
+		skipF, addsF = st.frozen.dels[fi], len(st.frozen.adds[fi])
+	}
+	if addsF <= skip {
+		// Not enough frozen adds to cover the pending tombstones: at
+		// least skipF + (skip - addsF) + 1 base matches must exist.
+		need := skipF + (skip - addsF) + 1
+		n := 0
+		st.tree.Each(k, func(V) bool {
+			n++
+			return n < need
+		})
+		if n < need {
+			return nil, false
+		}
 	}
 	nd := d.clone(i, !found)
 	nd.keys[i] = k

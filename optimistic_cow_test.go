@@ -23,6 +23,7 @@ func TestOptimisticFlushSharesPages(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := NewOptimistic(tr)
+	o.SetAsyncFlush(true) // pin the pipeline's sharing, whatever GOMAXPROCS says
 	o.SetFlushEvery(8)
 
 	before := o.state.Load().tree
@@ -31,18 +32,21 @@ func TestOptimisticFlushSharesPages(t *testing.T) {
 		beforeIDs[id] = true
 	}
 
-	// Seven writes stay in the delta; the eighth triggers the flush. Keys
-	// cluster around one spot so the dirty region is narrow.
+	// Seven writes stay in the delta; the eighth trips the flush — under
+	// the async pipeline that freezes the delta and hands it to the
+	// background flusher, so quiesce before inspecting the published
+	// tree. Keys cluster around one spot so the dirty region is narrow.
 	at := keys[100_000]
 	for i := uint64(0); i < 8; i++ {
 		o.Insert(at+i, i)
 	}
+	o.SyncFlush()
 	after := o.state.Load().tree
 	if after == before {
 		t.Fatal("flush did not publish a new tree")
 	}
-	if d := o.state.Load().delta; d != nil {
-		t.Fatal("delta survived the flush")
+	if st := o.state.Load(); st.delta != nil || st.frozen != nil {
+		t.Fatal("a delta survived the flush")
 	}
 
 	total, shared, fresh := 0, 0, 0
@@ -203,8 +207,9 @@ func TestOptimisticDeleteScanOrderPin(t *testing.T) {
 	// The COW flush applies the same accounting.
 	o.SetFlushEvery(1)
 	o.Insert(1000, 0) // trigger flush
-	if o.state.Load().delta != nil {
-		t.Fatal("delta survived flush")
+	o.SyncFlush()     // quiesce the async pipeline before inspecting
+	if st := o.state.Load(); st.delta != nil || st.frozen != nil {
+		t.Fatal("a delta survived flush")
 	}
 	flushed := scan()
 	if len(flushed) != len(got) {

@@ -3,6 +3,7 @@ package fitingtree
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -44,8 +45,11 @@ const (
 //
 // Writers (Insert, Delete) route to one shard and serialize only on that
 // shard's writer mutex, so writers whose keys land on different shards
-// proceed fully concurrently — each shard keeps its own delta and
-// page-granular copy-on-write flush. A shared RWMutex is held in read mode
+// proceed fully concurrently — each shard keeps its own delta, its own
+// page-granular copy-on-write flush, and its own background flusher
+// (asynchronous by default on multi-processor runtimes; see Optimistic,
+// SetAsyncFlush, SyncFlush and Close). A shared RWMutex is held in read
+// mode
 // for the duration of a write; its exclusive side is taken only by
 // rebalances and coherent multi-shard snapshots (EncodeSharded), which are
 // rare and short.
@@ -65,6 +69,7 @@ type Sharded[K Key, V any] struct {
 
 	want         int           // target shard count
 	flushAt      atomic.Int64  // forwarded to every shard, current and future
+	asyncOff     atomic.Bool   // forwarded to every shard, current and future
 	factor       atomic.Uint64 // rebalance skew factor (math.Float64bits)
 	writes       atomic.Uint64 // write counter gating the skew check
 	rebalancedAt atomic.Int64  // total elements when fences were last computed
@@ -188,8 +193,11 @@ func NewSharded[K Key, V any](t *Tree[K, V], shards int) (*Sharded[K, V], error)
 	starts, weights := t.PageBounds()
 	s := &Sharded[K, V]{want: shards}
 	s.flushAt.Store(DefaultFlushEvery)
+	// Same adaptive default as NewOptimistic: async flushing needs a spare
+	// core to run the background merges on.
+	s.asyncOff.Store(runtime.GOMAXPROCS(0) <= 1)
 	s.factor.Store(math.Float64bits(DefaultRebalanceFactor))
-	ss, err := newShardSet(keys, vals, starts, weights, t.Options(), shards, 0, DefaultFlushEvery)
+	ss, err := newShardSet(keys, vals, starts, weights, t.Options(), shards, 0, DefaultFlushEvery, !s.asyncOff.Load())
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +209,7 @@ func NewSharded[K Key, V any](t *Tree[K, V], shards int) (*Sharded[K, V], error)
 // newShardSet partitions the sorted (keys, vals) run along fences chosen
 // by balancedFences and bulk-loads one shard per range.
 func newShardSet[K Key, V any](keys []K, vals []V, starts []K, weights []int,
-	opts Options, want int, versionBase uint64, flushAt int) (*shardSet[K, V], error) {
+	opts Options, want int, versionBase uint64, flushAt int, async bool) (*shardSet[K, V], error) {
 	bounds := balancedFences(keys, starts, weights, want)
 	shards := make([]*Optimistic[K, V], len(bounds)+1)
 	lo := 0
@@ -216,6 +224,7 @@ func newShardSet[K Key, V any](keys []K, vals []V, starts []K, weights []int,
 		}
 		o := NewOptimistic(tr)
 		o.SetFlushEvery(flushAt)
+		o.SetAsyncFlush(async)
 		shards[i] = o
 		lo = hi
 	}
@@ -224,10 +233,10 @@ func newShardSet[K Key, V any](keys []K, vals []V, starts []K, weights []int,
 
 // SetFlushEvery sets the per-shard delta flush threshold (see
 // Optimistic.SetFlushEvery). Safe to call at any time; shards created by
-// later rebalances inherit the value.
+// later rebalances inherit the value. Panics if n < 1.
 func (s *Sharded[K, V]) SetFlushEvery(n int) {
 	if n < 1 {
-		n = 1
+		panic("fitingtree: SetFlushEvery threshold must be >= 1")
 	}
 	// The shared lock orders this against rebalance: either the rebalance
 	// sees the new flushAt when building its shards, or this loop sees the
@@ -238,6 +247,58 @@ func (s *Sharded[K, V]) SetFlushEvery(n int) {
 	for _, sh := range s.set.Load().shards {
 		sh.SetFlushEvery(n)
 	}
+}
+
+// SetAsyncFlush enables or disables the asynchronous flush pipeline on
+// every shard (see Optimistic.SetAsyncFlush; enabled by default on a
+// multi-processor runtime). Safe to call at any time; shards created by
+// later rebalances inherit the value.
+func (s *Sharded[K, V]) SetAsyncFlush(enabled bool) {
+	s.reshape.RLock()
+	defer s.reshape.RUnlock()
+	s.asyncOff.Store(!enabled)
+	for _, sh := range s.set.Load().shards {
+		sh.SetAsyncFlush(enabled)
+	}
+}
+
+// SyncFlush synchronously folds every shard's pending writes — frozen
+// deltas of in-flight background flushes and active deltas alike — into
+// the shard base trees. Shards flush in parallel: each fold is an
+// independent page-granular merge of that shard's pages.
+func (s *Sharded[K, V]) SyncFlush() {
+	s.reshape.RLock()
+	defer s.reshape.RUnlock()
+	forEachShardParallel(s.set.Load().shards, func(sh *Optimistic[K, V]) { sh.SyncFlush() })
+}
+
+// Close drains every shard's flush pipeline and disables asynchronous
+// flushing, including for shards created by later rebalances. The facade
+// remains usable afterwards — writes flush inline — and SetAsyncFlush
+// re-enables the pipeline. Close is idempotent.
+func (s *Sharded[K, V]) Close() {
+	s.asyncOff.Store(true)
+	s.reshape.RLock()
+	defer s.reshape.RUnlock()
+	forEachShardParallel(s.set.Load().shards, func(sh *Optimistic[K, V]) { sh.Close() })
+}
+
+// forEachShardParallel runs fn over shards concurrently and waits for all
+// of them; a single shard runs inline.
+func forEachShardParallel[K Key, V any](shards []*Optimistic[K, V], fn func(*Optimistic[K, V])) {
+	if len(shards) == 1 {
+		fn(shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *Optimistic[K, V]) {
+			defer wg.Done()
+			fn(sh)
+		}(sh)
+	}
+	wg.Wait()
 }
 
 // SetRebalanceFactor sets the skew threshold: a boundary rebuild is
@@ -379,6 +440,11 @@ func (s *Sharded[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 	}
 }
 
+// shardBatchParallelMin is the batch size below which LookupBatch probes
+// its shards sequentially: goroutine spawn and scheduling overhead
+// dominates small batches, where the sequential scatter already wins.
+const shardBatchParallelMin = 2048
+
 // LookupBatch looks up every element of keys, returning values and found
 // flags parallel to keys; latch-free. One permutation sorts the whole
 // batch by key (core.ProbeOrder, the batch hot path's specialized sort;
@@ -386,7 +452,10 @@ func (s *Sharded[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 // the sorted batch is automatically contiguous per shard with every
 // sub-batch presorted for the shard's LookupBatch fast path. Results
 // gather back into probe order, and each shard's sub-batch runs against
-// one consistent snapshot of that shard.
+// one consistent snapshot of that shard. Batches of at least
+// shardBatchParallelMin probes spanning several shards fan the per-shard
+// sub-batches out to one worker goroutine per shard; each worker fills
+// disjoint result indices, so the fan-out needs no locking.
 func (s *Sharded[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	ss := s.set.Load()
 	if len(ss.shards) == 1 {
@@ -405,25 +474,45 @@ func (s *Sharded[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 			sub[i] = keys[p]
 		}
 	}
+	// spans maps each shard with work to its contiguous sub-batch [b, e).
+	type span struct{ shard, b, e int }
+	spans := make([]span, 0, len(ss.shards))
 	for si, b := 0, 0; si < len(ss.shards) && b < len(sub); si++ {
 		e := len(sub)
 		if si < len(ss.bounds) {
 			e = lowerBound(sub, ss.bounds[si]) // keys >= fence belong to later shards
 		}
-		if e == b {
-			continue
-		}
-		sv, sf := ss.shards[si].LookupBatch(sub[b:e])
-		if order == nil {
-			copy(vals[b:e], sv)
-			copy(found[b:e], sf)
-		} else {
-			for j := b; j < e; j++ {
-				vals[order[j]], found[order[j]] = sv[j-b], sf[j-b]
-			}
+		if e > b {
+			spans = append(spans, span{shard: si, b: b, e: e})
 		}
 		b = e
 	}
+	probe := func(sp span) {
+		sv, sf := ss.shards[sp.shard].LookupBatch(sub[sp.b:sp.e])
+		if order == nil {
+			copy(vals[sp.b:sp.e], sv)
+			copy(found[sp.b:sp.e], sf)
+		} else {
+			for j := sp.b; j < sp.e; j++ {
+				vals[order[j]], found[order[j]] = sv[j-sp.b], sf[j-sp.b]
+			}
+		}
+	}
+	if len(sub) < shardBatchParallelMin || len(spans) < 2 {
+		for _, sp := range spans {
+			probe(sp)
+		}
+		return vals, found
+	}
+	var wg sync.WaitGroup
+	for _, sp := range spans {
+		wg.Add(1)
+		go func(sp span) {
+			defer wg.Done()
+			probe(sp)
+		}(sp)
+	}
+	wg.Wait()
 	return vals, found
 }
 
@@ -511,6 +600,17 @@ func (s *Sharded[K, V]) rebalance() {
 	if !s.needsRebalance(ss) {
 		return // another writer rebalanced between the check and the lock
 	}
+	// Quiesce the outgoing shards' flush pipelines before reading their
+	// version stamps: background flush workers publish under only the
+	// shard mutex, not the reshape lock, so without this drain a worker
+	// could publish between the Version() reads below and the shard-set
+	// swap and push the observable aggregate past the fixed +2 headroom —
+	// Version would go backwards across the swap. The drain also ensures
+	// no worker goroutine outlives its retired shard. It folds only
+	// pending deltas (page-granular, O(pending) per shard), runs shards in
+	// parallel, and leaves the retired set permanently clean for readers
+	// still holding it.
+	forEachShardParallel(ss.shards, func(sh *Optimistic[K, V]) { sh.Close() })
 	states := make([]*ostate[K, V], len(ss.shards))
 	base := ss.versionBase + 2 // keep Version monotone (and even) across the swap
 	for i, sh := range ss.shards {
@@ -523,7 +623,7 @@ func (s *Sharded[K, V]) rebalance() {
 		// Unreachable: ss.opts was normalized at construction.
 		panic(fmt.Sprintf("fitingtree: rebalance segmentation: %v", err))
 	}
-	ns, err := newShardSet(keys, vals, starts, weights, ss.opts, s.want, base, int(s.flushAt.Load()))
+	ns, err := newShardSet(keys, vals, starts, weights, ss.opts, s.want, base, int(s.flushAt.Load()), !s.asyncOff.Load())
 	if err != nil {
 		// Unreachable: the collected run is sorted and NaN-free.
 		panic(fmt.Sprintf("fitingtree: rebalance: %v", err))
@@ -532,12 +632,25 @@ func (s *Sharded[K, V]) rebalance() {
 	s.rebalancedAt.Store(int64(len(keys)))
 }
 
+// parallelCollectMin is the total element count below which collectStates
+// stays sequential: the per-state goroutine and the extra concatenation
+// copy only pay off once the drains are substantial.
+const parallelCollectMin = 1 << 15
+
 // collectStates drains the given shard states into one sorted run, pending
-// deltas folded in (the same fold a flush applies).
+// deltas folded in (the same fold a flush applies — frozen layer below
+// the active one). With several states and enough elements the drains run
+// in parallel, one goroutine per state: states are immutable, shards
+// partition the key space, and each drain is exactly the flush fold for
+// its shard, so a rebalance (or EncodeSharded) effectively flushes all
+// shards concurrently instead of one after another.
 func collectStates[K Key, V any](states []*ostate[K, V]) ([]K, []V) {
 	total := 0
 	for _, st := range states {
 		total += st.size
+	}
+	if len(states) > 1 && total >= parallelCollectMin {
+		return collectStatesParallel(states, total)
 	}
 	keys := make([]K, 0, total)
 	vals := make([]V, 0, total)
@@ -549,6 +662,41 @@ func collectStates[K Key, V any](states []*ostate[K, V]) ([]K, []V) {
 				return true
 			})
 		}
+	}
+	return keys, vals
+}
+
+// collectStatesParallel drains every state concurrently into per-state
+// runs and concatenates them in fence order, preserving global key order.
+func collectStatesParallel[K Key, V any](states []*ostate[K, V], total int) ([]K, []V) {
+	type run struct {
+		keys []K
+		vals []V
+	}
+	runs := make([]run, len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *ostate[K, V]) {
+			defer wg.Done()
+			ks := make([]K, 0, st.size)
+			vs := make([]V, 0, st.size)
+			if lo, hi, ok := st.bounds(); ok {
+				st.ascendRange(lo, hi, func(k K, v V) bool {
+					ks = append(ks, k)
+					vs = append(vs, v)
+					return true
+				})
+			}
+			runs[i] = run{keys: ks, vals: vs}
+		}(i, st)
+	}
+	wg.Wait()
+	keys := make([]K, 0, total)
+	vals := make([]V, 0, total)
+	for _, r := range runs {
+		keys = append(keys, r.keys...)
+		vals = append(vals, r.vals...)
 	}
 	return keys, vals
 }

@@ -475,7 +475,7 @@ func expectPanic(t *testing.T, what string, fn func()) {
 	t.Helper()
 	defer func() {
 		if recover() == nil {
-			t.Fatalf("%s with NaN key did not panic", what)
+			t.Fatalf("%s did not panic", what)
 		}
 	}()
 	fn()

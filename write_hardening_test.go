@@ -72,9 +72,12 @@ func TestSetFlushEveryConcurrent(t *testing.T) {
 	if o.Len() != want {
 		t.Fatalf("Len = %d, want %d", o.Len(), want)
 	}
-	// Thresholds set after the churn still apply to subsequent writes.
+	// Thresholds set after the churn still apply to subsequent writes: the
+	// insert below trips a flush (freeze, with the default async pipeline)
+	// and a drain leaves nothing buffered.
 	o.SetFlushEvery(1)
 	o.Insert(1, 1)
+	o.SyncFlush()
 	if st := o.Stats(); st.Buffered != 0 {
 		t.Fatalf("flush at 1 left %d buffered delta inserts", st.Buffered)
 	}
@@ -279,6 +282,12 @@ func (m *optModel) liveKeys() []uint64 {
 // every phase — pinning the "first N matches in scan order" tombstone
 // semantics exactly across MergeCOW flush boundaries, where a wrong
 // duplicate victim or a reordered fold would change the observed values.
+// It runs in inline-flush mode: exact victim selection among
+// distinct-valued duplicates depends on flush points (a pending insert is
+// consumed by Delete only until a freeze or fold moves it into the base
+// layer), so only deterministic flush timing admits exact-sequence
+// checks. TestOptimisticModelRandomizedAsync covers the async pipeline
+// with the flush-timing-invariant subset of these assertions.
 func TestOptimisticModelRandomized(t *testing.T) {
 	for _, flushAt := range []int{1, 2, 13, 64, 1 << 20} {
 		rng := rand.New(rand.NewSource(int64(flushAt) * 31))
@@ -298,6 +307,7 @@ func TestOptimisticModelRandomized(t *testing.T) {
 			t.Fatal(err)
 		}
 		o := fitingtree.NewOptimistic(tr)
+		o.SetAsyncFlush(false) // exact-sequence checks need deterministic flush points
 		o.SetFlushEvery(flushAt)
 		m := newOptModel(base, baseVals, flushAt)
 
@@ -385,5 +395,129 @@ func TestOptimisticModelRandomized(t *testing.T) {
 			}
 			check(phase)
 		}
+	}
+}
+
+// TestOptimisticModelRandomizedAsync extends the randomized model test to
+// the asynchronous flush pipeline: the single writer races the background
+// flusher (run under -race), so reads constantly cross freeze and publish
+// boundaries. Exact victim selection among distinct-valued duplicates is
+// flush-timing-dependent (see TestOptimisticModelRandomized), so this
+// variant checks the flush-timing-invariant contract instead: Delete
+// outcomes, total and per-key live counts, globally ordered scans, batch
+// found flags, and that every surviving value was genuinely inserted (or
+// bulk-loaded) under its key.
+func TestOptimisticModelRandomizedAsync(t *testing.T) {
+	for _, flushAt := range []int{1, 2, 13, 64} {
+		rng := rand.New(rand.NewSource(int64(flushAt) * 101))
+		nextVal := uint64(1 << 32)
+		base := make([]uint64, 1500)
+		baseVals := make([]uint64, 1500)
+		for i := range base {
+			base[i] = uint64(rng.Intn(300) * 6) // heavy duplication
+		}
+		sortU64(base)
+		everVals := map[uint64]map[uint64]bool{} // key -> all values ever stored
+		for i := range baseVals {
+			baseVals[i] = nextVal
+			nextVal++
+			if everVals[base[i]] == nil {
+				everVals[base[i]] = map[uint64]bool{}
+			}
+			everVals[base[i]][baseVals[i]] = true
+		}
+		tr, err := fitingtree.BulkLoad(base, baseVals, fitingtree.Options{Error: 32, BufferSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := fitingtree.NewOptimistic(tr)
+		o.SetAsyncFlush(true) // the pipeline under test, whatever GOMAXPROCS says
+		o.SetFlushEvery(flushAt)
+		m := newOptModel(base, baseVals, flushAt)
+
+		check := func(phase int) {
+			t.Helper()
+			if o.Len() != m.len() {
+				t.Fatalf("flushAt=%d phase %d: Len %d, model %d", flushAt, phase, o.Len(), m.len())
+			}
+			// Global scan: key sequence must match the model exactly (key
+			// order is flush-invariant), and every value must have been
+			// stored under its key at some point.
+			var wantK []uint64
+			for _, k := range m.liveKeys() {
+				for range m.each(k) {
+					wantK = append(wantK, k)
+				}
+			}
+			i := 0
+			o.AscendRange(0, 1<<62, func(k, v uint64) bool {
+				if i >= len(wantK) || k != wantK[i] {
+					t.Fatalf("flushAt=%d phase %d: scan[%d] key = %d, model %d",
+						flushAt, phase, i, k, wantK[i])
+				}
+				if !everVals[k][v] {
+					t.Fatalf("flushAt=%d phase %d: scan[%d] = (%d,%d): value never stored under key",
+						flushAt, phase, i, k, v)
+				}
+				i++
+				return true
+			})
+			if i != len(wantK) {
+				t.Fatalf("flushAt=%d phase %d: scan visited %d, model %d", flushAt, phase, i, len(wantK))
+			}
+			// Point paths: per-key counts and batch found flags.
+			probe := make([]uint64, 0, 128)
+			for j := 0; j < 128; j++ {
+				probe = append(probe, uint64(rng.Intn(2000)))
+			}
+			bv, bf := o.LookupBatch(probe)
+			for pi, k := range probe {
+				want := m.each(k)
+				got := 0
+				o.Each(k, func(v uint64) bool {
+					if !everVals[k][v] {
+						t.Fatalf("flushAt=%d phase %d: Each(%d) yielded alien value %d", flushAt, phase, k, v)
+					}
+					got++
+					return true
+				})
+				if got != len(want) {
+					t.Fatalf("flushAt=%d phase %d: Each(%d) count %d, model %d", flushAt, phase, k, got, len(want))
+				}
+				if bf[pi] != (len(want) > 0) {
+					t.Fatalf("flushAt=%d phase %d: batch found[%d]=%v, model has %d matches",
+						flushAt, phase, k, bf[pi], len(want))
+				}
+				if bf[pi] && !everVals[k][bv[pi]] {
+					t.Fatalf("flushAt=%d phase %d: batch val for %d = %d never stored", flushAt, phase, k, bv[pi])
+				}
+			}
+		}
+
+		check(-1)
+		for phase := 0; phase < 4; phase++ {
+			for i := 0; i < 500; i++ {
+				k := uint64(rng.Intn(2000))
+				if rng.Intn(3) == 0 {
+					if got, want := o.Delete(k), m.delete(k); got != want {
+						t.Fatalf("flushAt=%d: Delete(%d) = %v, model %v", flushAt, k, got, want)
+					}
+				} else {
+					v := nextVal
+					nextVal++
+					if everVals[k] == nil {
+						everVals[k] = map[uint64]bool{}
+					}
+					everVals[k][v] = true
+					o.Insert(k, v)
+					m.insert(k, v)
+				}
+			}
+			check(phase)
+		}
+		// Drain the pipeline and re-verify: the fold must not change any
+		// flush-invariant observation.
+		o.Close()
+		check(4)
 	}
 }
