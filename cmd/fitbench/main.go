@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, all")
 		n        = flag.Int("n", 1_000_000, "base dataset size")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		probes   = flag.Int("probes", 100_000, "lookup probes per measurement")
@@ -66,10 +66,14 @@ func main() {
 		"flushstall": func() {
 			writeFlushStallJSON(*jsonPath, cfg, bench.ExtFlushStall(os.Stdout, cfg))
 		},
+		"flushpub": func() {
+			writeFlushPubJSON(*jsonPath, cfg, bench.ExtFlushPub(os.Stdout, cfg))
+		},
 		"all": func() {
 			bench.AllButParallel(os.Stdout, cfg)
 			writeShardWriteJSON(suffixedPath(*jsonPath, "_shardwrite"), cfg, bench.ExtShardWrite(os.Stdout, cfg))
 			writeFlushStallJSON(suffixedPath(*jsonPath, "_flushstall"), cfg, bench.ExtFlushStall(os.Stdout, cfg))
+			writeFlushPubJSON(suffixedPath(*jsonPath, "_flushpub"), cfg, bench.ExtFlushPub(os.Stdout, cfg))
 			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
 		},
 	}
@@ -79,9 +83,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "all": true}
+	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "all": true}
 	if *jsonPath != "" && !jsonExps[*exp] {
-		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, or all\n")
+		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, or all\n")
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -126,6 +130,18 @@ func writeFlushStallJSON(path string, cfg bench.Config, points []bench.FlushStal
 		Experiment: "flushstall",
 		N:          cfg.N,
 		FlushEvery: flushEvery,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	})
+}
+
+// writeFlushPubJSON writes the flushpub experiment's machine-readable
+// report to path; it is a no-op when path is empty.
+func writeFlushPubJSON(path string, cfg bench.Config, points []bench.FlushPubPoint) {
+	writeJSON(path, bench.FlushPubReport{
+		Experiment: "flushpub",
 		Seed:       cfg.Seed,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

@@ -7,15 +7,25 @@
 // variable-sized segment. Keeping the substrate identical across all
 // competitors preserves the paper's fair-comparison methodology.
 //
-// The tree maps ordered numeric keys to values. Leaves are chained for
-// ordered scans. Lookup, insertion (with node splits), deletion (with
-// borrow/merge rebalancing), floor search (greatest key <= k, the operation
-// FITing-Tree uses to route a key to its segment) and bottom-up bulk
-// loading are supported.
+// The tree maps ordered numeric keys to values. Lookup, insertion (with
+// node splits), deletion (with borrow/merge rebalancing), floor search
+// (greatest key <= k, the operation FITing-Tree uses to route a key to its
+// segment) and bottom-up bulk loading are supported.
+//
+// Nodes carry no sibling links — leaves are reached and iterated purely by
+// descent — so a node is a pure value that can be shared structurally
+// between tree versions, in the manner of the copy-on-write B-trees of the
+// LMDB lineage. CloneCOW exploits that: it snapshots a tree in O(1), and
+// every mutating operation copies the nodes on its descent path the first
+// time it touches a node the version does not own (path copying), leaving
+// all untouched nodes shared. The FITing-Tree segment router uses this to
+// publish a flushed tree whose router shares all but O(dirty · height)
+// nodes with its predecessor.
 package btree
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fitingtree/internal/num"
 )
@@ -25,12 +35,21 @@ import (
 // mirroring the fanout regime the paper's cost model assumes.
 const DefaultOrder = 16
 
+// ownerSeq issues process-unique version tokens (see Tree.owner).
+var ownerSeq atomic.Uint64
+
 // Tree is a B+ tree from K to V. The zero value is not usable; call New.
 type Tree[K num.Key, V any] struct {
 	order  int // max keys per node; nodes split when exceeding it
 	root   *node[K, V]
 	height int // number of levels, 1 = root is a leaf
 	size   int // number of key/value pairs
+
+	// owner is the version token stamped on every node this tree allocates.
+	// A mutation may write to a node in place only when the node's stamp
+	// matches; any other node is shared with another version (see CloneCOW)
+	// and is copied first.
+	owner uint64
 }
 
 // node is either a leaf (children == nil) or an inner node.
@@ -39,11 +58,10 @@ type Tree[K num.Key, V any] struct {
 // children[i] holds keys k with keys[i-1] <= k < keys[i] (boundary keys
 // omitted at the ends).
 type node[K num.Key, V any] struct {
+	owner    uint64 // version token of the tree that allocated this node
 	keys     []K
 	vals     []V           // leaf only, parallel to keys
 	children []*node[K, V] // inner only
-	next     *node[K, V]   // leaf chain, ascending
-	prev     *node[K, V]   // leaf chain, descending
 }
 
 func (n *node[K, V]) leaf() bool { return n.children == nil }
@@ -55,11 +73,96 @@ func New[K num.Key, V any](order int) *Tree[K, V] {
 	if order < 3 {
 		order = 3
 	}
+	t := &Tree[K, V]{order: order, height: 1, owner: ownerSeq.Add(1)}
+	t.root = &node[K, V]{owner: t.owner}
+	return t
+}
+
+// CloneCOW returns a copy-on-write snapshot of the tree in O(1): the clone
+// shares every node with the receiver. The clone carries a fresh version
+// token, so its mutations copy shared nodes on the way down (path copying)
+// and never write into the receiver's structure — CloneCOW itself does not
+// modify the receiver either, so it is safe to call while other goroutines
+// read the receiver. The receiver, however, must not be mutated after
+// cloning: its own token still matches the shared nodes, so an in-place
+// write through it would leak into the clone. This publication-style
+// contract (old version frozen, new version mutated then published)
+// mirrors the page-sharing rule of the FITing-Tree COW flush.
+func (t *Tree[K, V]) CloneCOW() *Tree[K, V] {
 	return &Tree[K, V]{
-		order:  order,
-		root:   &node[K, V]{},
-		height: 1,
+		order:  t.order,
+		root:   t.root,
+		height: t.height,
+		size:   t.size,
+		owner:  ownerSeq.Add(1),
 	}
+}
+
+// ensureOwned returns n if this tree version may mutate it in place, or a
+// fresh copy stamped with the tree's token otherwise. Copies allocate new
+// key/value/children slices, so the original's backing arrays are never
+// aliased by a mutable node.
+func (t *Tree[K, V]) ensureOwned(n *node[K, V]) *node[K, V] {
+	if n.owner == t.owner {
+		return n
+	}
+	c := &node[K, V]{owner: t.owner, keys: append([]K(nil), n.keys...)}
+	if n.leaf() {
+		c.vals = append([]V(nil), n.vals...)
+	} else {
+		c.children = append([]*node[K, V](nil), n.children...)
+	}
+	return c
+}
+
+// ownChild makes child ci of n mutable and installs the (possibly copied)
+// node back into n, which must already be owned.
+func (t *Tree[K, V]) ownChild(n *node[K, V], ci int) *node[K, V] {
+	c := t.ensureOwned(n.children[ci])
+	n.children[ci] = c
+	return c
+}
+
+// NodeCount returns the number of nodes (inner and leaf) in the tree.
+func (t *Tree[K, V]) NodeCount() int {
+	count := 0
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		count++
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return count
+}
+
+// SharedNodeCount reports how many of t's nodes are pointer-identical to a
+// node of o — the structural-sharing diagnostic for CloneCOW versions.
+// Tests use it to pin that a mutated clone still shares all but the copied
+// descent paths with its parent.
+func (t *Tree[K, V]) SharedNodeCount(o *Tree[K, V]) int {
+	theirs := map[*node[K, V]]bool{}
+	var collect func(n *node[K, V])
+	collect = func(n *node[K, V]) {
+		theirs[n] = true
+		for _, c := range n.children {
+			collect(c)
+		}
+	}
+	collect(o.root)
+	shared := 0
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if theirs[n] {
+			shared++
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return shared
 }
 
 // Order returns the maximum number of keys per node.
@@ -117,41 +220,117 @@ func (t *Tree[K, V]) Contains(k K) bool {
 
 // Floor returns the greatest key <= k and its value. This is the routing
 // operation of FITing-Tree: segments are keyed by their starting key, so
-// the segment owning k is Floor(k).
+// the segment owning k is Floor(k). Leaves carry no sibling links (they
+// must stay shareable between COW versions), so the descent remembers the
+// nearest subtree entirely left of the path; when the descent leaf has no
+// key <= k the answer is that subtree's maximum.
 func (t *Tree[K, V]) Floor(k K) (K, V, bool) {
-	n := t.findLeaf(k)
-	i := search(n, k) - 1
-	if i < 0 {
-		// All keys in this leaf are > k; the answer, if any, is the last
-		// key of the previous leaf.
-		if n.prev == nil || len(n.prev.keys) == 0 {
-			var zk K
-			var zv V
-			return zk, zv, false
+	n := t.root
+	var left *node[K, V] // root of the nearest subtree with keys < the path
+	for !n.leaf() {
+		i := search(n, k)
+		if i > 0 {
+			left = n.children[i-1]
 		}
-		n = n.prev
-		i = len(n.keys) - 1
+		n = n.children[i]
 	}
-	return n.keys[i], n.vals[i], true
+	if i := search(n, k) - 1; i >= 0 {
+		return n.keys[i], n.vals[i], true
+	}
+	if left == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	for !left.leaf() {
+		left = left.children[len(left.children)-1]
+	}
+	// A non-root leaf is never empty, and a subtree hanging off an inner
+	// node is never rooted at the tree root.
+	last := len(left.keys) - 1
+	return left.keys[last], left.vals[last], true
 }
 
-// Ceil returns the smallest key >= k and its value.
+// FloorWithNext is Floor extended with the key of the entry immediately
+// after the floor (the floor's in-tree successor), when one exists. The
+// successor comes from the same descent — the floor's right neighbor in
+// its leaf, or the minimum of the nearest right subtree — so callers that
+// need a validity range [floor, next) for caching a descent (the
+// FITing-Tree batch lookup path) pay one search, not two.
+func (t *Tree[K, V]) FloorWithNext(k K) (fk K, fv V, nk K, hasNext, ok bool) {
+	n := t.root
+	var left, right *node[K, V] // nearest subtrees fully left/right of the path
+	for !n.leaf() {
+		i := search(n, k)
+		if i > 0 {
+			left = n.children[i-1]
+		}
+		if i < len(n.children)-1 {
+			right = n.children[i+1]
+		}
+		n = n.children[i]
+	}
+	succFrom := func(leaf *node[K, V], i int) (K, bool) {
+		if i < len(leaf.keys) {
+			return leaf.keys[i], true
+		}
+		if right == nil {
+			var zk K
+			return zk, false
+		}
+		for !right.leaf() {
+			right = right.children[0]
+		}
+		return right.keys[0], true
+	}
+	if i := search(n, k) - 1; i >= 0 {
+		nk, hasNext = succFrom(n, i+1)
+		return n.keys[i], n.vals[i], nk, hasNext, true
+	}
+	// No key <= k in the descent leaf: the floor is the maximum of the
+	// nearest left subtree, and the successor is this leaf's first key.
+	nk, hasNext = succFrom(n, 0)
+	if left == nil {
+		var zk K
+		var zv V
+		return zk, zv, nk, hasNext, false
+	}
+	for !left.leaf() {
+		left = left.children[len(left.children)-1]
+	}
+	last := len(left.keys) - 1
+	return left.keys[last], left.vals[last], nk, hasNext, true
+}
+
+// Ceil returns the smallest key >= k and its value. The mirror image of
+// Floor: the descent remembers the nearest subtree entirely right of the
+// path.
 func (t *Tree[K, V]) Ceil(k K) (K, V, bool) {
-	n := t.findLeaf(k)
+	n := t.root
+	var right *node[K, V] // root of the nearest subtree with keys > the path
+	for !n.leaf() {
+		i := search(n, k)
+		if i < len(n.children)-1 {
+			right = n.children[i+1]
+		}
+		n = n.children[i]
+	}
 	i := search(n, k)
 	if i > 0 && n.keys[i-1] == k {
 		return n.keys[i-1], n.vals[i-1], true
 	}
-	if i == len(n.keys) {
-		if n.next == nil || len(n.next.keys) == 0 {
-			var zk K
-			var zv V
-			return zk, zv, false
-		}
-		n = n.next
-		i = 0
+	if i < len(n.keys) {
+		return n.keys[i], n.vals[i], true
 	}
-	return n.keys[i], n.vals[i], true
+	if right == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	for !right.leaf() {
+		right = right.children[0]
+	}
+	return right.keys[0], right.vals[0], true
 }
 
 // Min returns the smallest key and its value.
@@ -185,9 +364,11 @@ func (t *Tree[K, V]) Max() (K, V, bool) {
 // Insert stores v under k, replacing any existing value. It reports whether
 // a previous value was replaced.
 func (t *Tree[K, V]) Insert(k K, v V) bool {
+	t.root = t.ensureOwned(t.root)
 	replaced, splitKey, sibling := t.insert(t.root, k, v)
 	if sibling != nil {
 		newRoot := &node[K, V]{
+			owner:    t.owner,
 			keys:     []K{splitKey},
 			children: []*node[K, V]{t.root, sibling},
 		}
@@ -200,8 +381,9 @@ func (t *Tree[K, V]) Insert(k K, v V) bool {
 	return replaced
 }
 
-// insert recursively inserts into n. If n splits, it returns the separator
-// key and the new right sibling to be installed in the parent.
+// insert recursively inserts into n, which the caller has made owned. If n
+// splits, it returns the separator key and the new right sibling to be
+// installed in the parent.
 func (t *Tree[K, V]) insert(n *node[K, V], k K, v V) (replaced bool, splitKey K, sibling *node[K, V]) {
 	if n.leaf() {
 		i := search(n, k)
@@ -218,7 +400,7 @@ func (t *Tree[K, V]) insert(n *node[K, V], k K, v V) (replaced bool, splitKey K,
 	}
 
 	ci := search(n, k)
-	replaced, childKey, childSibling := t.insert(n.children[ci], k, v)
+	replaced, childKey, childSibling := t.insert(t.ownChild(n, ci), k, v)
 	if childSibling != nil {
 		n.keys = insertAt(n.keys, ci, childKey)
 		n.children = insertAt(n.children, ci+1, childSibling)
@@ -234,15 +416,10 @@ func (t *Tree[K, V]) insert(n *node[K, V], k K, v V) (replaced bool, splitKey K,
 func (t *Tree[K, V]) splitLeaf(n *node[K, V]) (K, *node[K, V]) {
 	mid := len(n.keys) / 2
 	right := &node[K, V]{
-		keys: append([]K(nil), n.keys[mid:]...),
-		vals: append([]V(nil), n.vals[mid:]...),
-		next: n.next,
-		prev: n,
+		owner: t.owner,
+		keys:  append([]K(nil), n.keys[mid:]...),
+		vals:  append([]V(nil), n.vals[mid:]...),
 	}
-	if n.next != nil {
-		n.next.prev = right
-	}
-	n.next = right
 	n.keys = n.keys[:mid:mid]
 	n.vals = n.vals[:mid:mid]
 	return right.keys[0], right
@@ -253,6 +430,7 @@ func (t *Tree[K, V]) splitInner(n *node[K, V]) (K, *node[K, V]) {
 	mid := len(n.keys) / 2
 	up := n.keys[mid]
 	right := &node[K, V]{
+		owner:    t.owner,
 		keys:     append([]K(nil), n.keys[mid+1:]...),
 		children: append([]*node[K, V](nil), n.children[mid+1:]...),
 	}
@@ -266,20 +444,21 @@ func (t *Tree[K, V]) minKeys() int { return t.order / 2 }
 
 // Delete removes k and reports whether it was present.
 func (t *Tree[K, V]) Delete(k K) bool {
+	t.root = t.ensureOwned(t.root)
 	deleted := t.remove(t.root, k)
 	if deleted {
 		t.size--
 	}
 	// Collapse the root if it became a pass-through inner node.
 	for !t.root.leaf() && len(t.root.children) == 1 {
-		t.root = t.root.children[0]
+		t.root = t.ensureOwned(t.root.children[0])
 		t.height--
 	}
 	return deleted
 }
 
-// remove deletes k from the subtree rooted at n and rebalances children
-// that underflow.
+// remove deletes k from the subtree rooted at n (owned by the caller) and
+// rebalances children that underflow.
 func (t *Tree[K, V]) remove(n *node[K, V], k K) bool {
 	if n.leaf() {
 		i := search(n, k) - 1
@@ -292,15 +471,17 @@ func (t *Tree[K, V]) remove(n *node[K, V], k K) bool {
 	}
 
 	ci := search(n, k)
-	deleted := t.remove(n.children[ci], k)
-	if deleted && len(n.children[ci].keys) < t.minKeys() {
+	child := t.ownChild(n, ci)
+	deleted := t.remove(child, k)
+	if deleted && len(child.keys) < t.minKeys() {
 		t.rebalance(n, ci)
 	}
 	return deleted
 }
 
 // rebalance fixes an underflowing child n.children[ci] by borrowing from a
-// sibling or merging with one.
+// sibling or merging with one. n and the underflowing child are owned; the
+// sibling that lends or absorbs is made owned before it is touched.
 func (t *Tree[K, V]) rebalance(n *node[K, V], ci int) {
 	if len(n.children) < 2 {
 		// No sibling to borrow from or merge with; the root-collapse pass
@@ -311,8 +492,8 @@ func (t *Tree[K, V]) rebalance(n *node[K, V], ci int) {
 
 	// Borrow from the left sibling if it has spare keys.
 	if ci > 0 {
-		left := n.children[ci-1]
-		if len(left.keys) > t.minKeys() {
+		if left := n.children[ci-1]; len(left.keys) > t.minKeys() {
+			left = t.ownChild(n, ci-1)
 			if child.leaf() {
 				last := len(left.keys) - 1
 				child.keys = insertAt(child.keys, 0, left.keys[last])
@@ -334,8 +515,8 @@ func (t *Tree[K, V]) rebalance(n *node[K, V], ci int) {
 
 	// Borrow from the right sibling if it has spare keys.
 	if ci < len(n.children)-1 {
-		right := n.children[ci+1]
-		if len(right.keys) > t.minKeys() {
+		if right := n.children[ci+1]; len(right.keys) > t.minKeys() {
+			right = t.ownChild(n, ci+1)
 			if child.leaf() {
 				child.keys = append(child.keys, right.keys[0])
 				child.vals = append(child.vals, right.vals[0])
@@ -363,14 +544,11 @@ func (t *Tree[K, V]) rebalance(n *node[K, V], ci int) {
 
 // merge folds n.children[i+1] into n.children[i] and drops separator i.
 func (t *Tree[K, V]) merge(n *node[K, V], i int) {
-	left, right := n.children[i], n.children[i+1]
+	left := t.ownChild(n, i)
+	right := n.children[i+1]
 	if left.leaf() {
 		left.keys = append(left.keys, right.keys...)
 		left.vals = append(left.vals, right.vals...)
-		left.next = right.next
-		if right.next != nil {
-			right.next.prev = left
-		}
 	} else {
 		left.keys = append(left.keys, n.keys[i])
 		left.keys = append(left.keys, right.keys...)
@@ -383,40 +561,58 @@ func (t *Tree[K, V]) merge(n *node[K, V], i int) {
 // Ascend calls fn for every key/value pair in ascending key order, stopping
 // early if fn returns false.
 func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
-	n := t.root
-	for !n.leaf() {
-		n = n.children[0]
-	}
-	for n != nil {
+	t.ascend(t.root, fn)
+}
+
+// ascend walks the subtree at n left to right; it reports false when fn
+// requested a stop.
+func (t *Tree[K, V]) ascend(n *node[K, V], fn func(k K, v V) bool) bool {
+	if n.leaf() {
 		for i := range n.keys {
 			if !fn(n.keys[i], n.vals[i]) {
-				return
+				return false
 			}
 		}
-		n = n.next
+		return true
 	}
+	for _, c := range n.children {
+		if !t.ascend(c, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // MutateDescend visits every key/value pair in descending key order,
 // replacing the stored value with the one fn returns, and stops after the
 // first pair for which fn reports false (that pair's returned value is
-// still stored). The FITing-Tree segment router uses it to renumber a
-// suffix of page positions after a splice without one descent per entry.
+// still stored). Visited nodes are copied if another version shares them
+// (the COW suffix-shift): an early stop leaves every subtree left of the
+// stop point untouched and shared.
 func (t *Tree[K, V]) MutateDescend(fn func(k K, v V) (V, bool)) {
-	n := t.root
-	for !n.leaf() {
-		n = n.children[len(n.children)-1]
-	}
-	for n != nil {
+	t.root = t.ensureOwned(t.root)
+	t.mutateDescend(t.root, fn)
+}
+
+// mutateDescend walks the owned subtree at n right to left; it reports
+// false when fn requested a stop.
+func (t *Tree[K, V]) mutateDescend(n *node[K, V], fn func(k K, v V) (V, bool)) bool {
+	if n.leaf() {
 		for i := len(n.keys) - 1; i >= 0; i-- {
 			nv, cont := fn(n.keys[i], n.vals[i])
 			n.vals[i] = nv
 			if !cont {
-				return
+				return false
 			}
 		}
-		n = n.prev
+		return true
 	}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		if !t.mutateDescend(t.ownChild(n, i), fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // AscendRange calls fn for every pair with lo <= key <= hi in ascending
@@ -425,25 +621,39 @@ func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 	if hi < lo {
 		return
 	}
-	n := t.findLeaf(lo)
-	// First index with key >= lo; search() finds the first > lo-ε bound,
-	// so step back over an exact match.
-	i := search(n, lo)
-	if i > 0 && n.keys[i-1] == lo {
-		i--
-	}
-	for n != nil {
+	t.ascendRange(t.root, lo, hi, fn)
+}
+
+// ascendRange walks the subtree at n left to right over [lo, hi]; it
+// reports false once the walk is over (early stop or keys past hi).
+func (t *Tree[K, V]) ascendRange(n *node[K, V], lo, hi K, fn func(k K, v V) bool) bool {
+	if n.leaf() {
+		i := search(n, lo)
+		// search finds the first key > lo; step back over an exact match.
+		if i > 0 && n.keys[i-1] == lo {
+			i--
+		}
 		for ; i < len(n.keys); i++ {
 			if n.keys[i] > hi {
-				return
+				return false
 			}
 			if !fn(n.keys[i], n.vals[i]) {
-				return
+				return false
 			}
 		}
-		n = n.next
-		i = 0
+		return true
 	}
+	for i := search(n, lo); i < len(n.children); i++ {
+		// children[i] holds keys >= keys[i-1]; once that bound passes hi
+		// nothing further can match.
+		if i > 0 && n.keys[i-1] > hi {
+			return false
+		}
+		if !t.ascendRange(n.children[i], lo, hi, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // BulkLoad builds the tree bottom-up from sorted, distinct keys with the
@@ -467,7 +677,7 @@ func (t *Tree[K, V]) BulkLoad(keys []K, vals []V, fill float64) error {
 		perLeaf = 1
 	}
 
-	t.root = &node[K, V]{}
+	t.root = &node[K, V]{owner: t.owner}
 	t.height = 1
 	t.size = len(keys)
 	if len(keys) == 0 {
@@ -478,15 +688,11 @@ func (t *Tree[K, V]) BulkLoad(keys []K, vals []V, fill float64) error {
 	var leaves []*node[K, V]
 	for at := 0; at < len(keys); at += perLeaf {
 		end := num.MinInt(at+perLeaf, len(keys))
-		leaf := &node[K, V]{
-			keys: append([]K(nil), keys[at:end]...),
-			vals: append([]V(nil), vals[at:end]...),
-		}
-		if len(leaves) > 0 {
-			leaves[len(leaves)-1].next = leaf
-			leaf.prev = leaves[len(leaves)-1]
-		}
-		leaves = append(leaves, leaf)
+		leaves = append(leaves, &node[K, V]{
+			owner: t.owner,
+			keys:  append([]K(nil), keys[at:end]...),
+			vals:  append([]V(nil), vals[at:end]...),
+		})
 	}
 
 	// Build inner levels until a single root remains.
@@ -507,7 +713,7 @@ func (t *Tree[K, V]) BulkLoad(keys []K, vals []V, fill float64) error {
 				}
 			}
 			group := level[at:end]
-			p := &node[K, V]{children: append([]*node[K, V](nil), group...)}
+			p := &node[K, V]{owner: t.owner, children: append([]*node[K, V](nil), group...)}
 			for _, c := range group[1:] {
 				p.keys = append(p.keys, firstKey(c))
 			}

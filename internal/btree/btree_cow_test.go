@@ -1,0 +1,176 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// cowBase builds a bulk-loaded tree of n sequential entries.
+func cowBase(t *testing.T, n int) *Tree[uint64, int] {
+	t.Helper()
+	keys := make([]uint64, n)
+	vals := make([]int, n)
+	for i := range keys {
+		keys[i] = uint64(i * 2)
+		vals[i] = i
+	}
+	tr := New[uint64, int](DefaultOrder)
+	if err := tr.BulkLoad(keys, vals, 1); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCloneCOWSharesAllNodes pins that an unmutated clone is a pure O(1)
+// snapshot: every node pointer-identical with the parent.
+func TestCloneCOWSharesAllNodes(t *testing.T) {
+	tr := cowBase(t, 10_000)
+	cl := tr.CloneCOW()
+	n := tr.NodeCount()
+	if cl.NodeCount() != n {
+		t.Fatalf("clone has %d nodes, parent %d", cl.NodeCount(), n)
+	}
+	if shared := cl.SharedNodeCount(tr); shared != n {
+		t.Fatalf("unmutated clone shares %d of %d nodes", shared, n)
+	}
+}
+
+// TestCloneCOWPathCopying pins the path-copying bound: k point mutations
+// on a clone copy at most k·height nodes, and the parent's content is
+// byte-for-byte untouched.
+func TestCloneCOWPathCopying(t *testing.T) {
+	tr := cowBase(t, 50_000)
+	before := map[uint64]int{}
+	tr.Ascend(func(k uint64, v int) bool { before[k] = v; return true })
+
+	cl := tr.CloneCOW()
+	const muts = 8
+	for i := 0; i < muts; i++ {
+		cl.Insert(uint64(i*2+1), -i) // fresh odd keys
+	}
+	if cl.Len() != tr.Len()+muts {
+		t.Fatalf("clone Len = %d, want %d", cl.Len(), tr.Len()+muts)
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("parent after clone mutations: %v", err)
+	}
+
+	total := cl.NodeCount()
+	shared := cl.SharedNodeCount(tr)
+	// Each mutation copies one root-to-leaf path (plus split fringe).
+	if budget := muts * (tr.Height() + 2); total-shared > budget {
+		t.Fatalf("%d point mutations copied %d nodes (height %d, budget %d)",
+			muts, total-shared, tr.Height(), budget)
+	}
+	if shared == 0 {
+		t.Fatal("mutated clone shares nothing with its parent")
+	}
+
+	// Parent content unchanged, clone diverged.
+	after := map[uint64]int{}
+	tr.Ascend(func(k uint64, v int) bool { after[k] = v; return true })
+	if len(after) != len(before) {
+		t.Fatalf("parent size changed: %d -> %d", len(before), len(after))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("parent value for %d changed: %d -> %d", k, v, after[k])
+		}
+	}
+	for i := 0; i < muts; i++ {
+		if _, ok := tr.Get(uint64(i*2 + 1)); ok {
+			t.Fatalf("clone insert %d leaked into parent", i*2+1)
+		}
+		if v, ok := cl.Get(uint64(i*2 + 1)); !ok || v != -i {
+			t.Fatalf("clone Get(%d) = %d,%v", i*2+1, v, ok)
+		}
+	}
+}
+
+// TestCloneCOWDeleteAndShift exercises the other two COW mutations —
+// delete with rebalancing and the MutateDescend suffix walk — against a
+// reference model, checking the parent never changes.
+func TestCloneCOWDeleteAndShift(t *testing.T) {
+	tr := cowBase(t, 20_000)
+	parentLen := tr.Len()
+
+	cl := tr.CloneCOW()
+	rng := rand.New(rand.NewSource(11))
+	ref := map[uint64]int{}
+	tr.Ascend(func(k uint64, v int) bool { ref[k] = v; return true })
+	for i := 0; i < 2_000; i++ {
+		k := uint64(rng.Intn(20_000)) * 2
+		if _, ok := ref[k]; ok != cl.Delete(k) {
+			t.Fatalf("clone Delete(%d) disagreed with model", k)
+		}
+		delete(ref, k)
+	}
+	// Suffix shift: bump every value >= 15000, stopping below (the COW
+	// suffix-shift pattern the segment router used for splices).
+	cl.MutateDescend(func(k uint64, v int) (int, bool) {
+		if v < 15_000 {
+			return v, false
+		}
+		return v + 1, true
+	})
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("parent: %v", err)
+	}
+	if tr.Len() != parentLen {
+		t.Fatalf("parent Len changed to %d", tr.Len())
+	}
+	if v, ok := tr.Get(2 * 19_999); !ok || v != 19_999 {
+		t.Fatalf("parent tail value = %d,%v, want un-shifted 19999", v, ok)
+	}
+	keys := make([]uint64, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		want := ref[k]
+		if want >= 15_000 {
+			want++
+		}
+		if v, ok := cl.Get(k); !ok || v != want {
+			t.Fatalf("clone Get(%d) = %d,%v, want %d", k, v, ok, want)
+		}
+	}
+	// The early-stopped shift must leave the untouched prefix shared.
+	if cl.SharedNodeCount(tr) == 0 {
+		t.Fatal("clone shares nothing after deletes + partial shift")
+	}
+}
+
+// TestCloneCOWChain pins that clones of clones keep working: each
+// generation mutates privately and earlier generations stay frozen.
+func TestCloneCOWChain(t *testing.T) {
+	gen0 := cowBase(t, 5_000)
+	gens := []*Tree[uint64, int]{gen0}
+	for g := 1; g <= 5; g++ {
+		next := gens[g-1].CloneCOW()
+		next.Insert(uint64(1_000_000+g), g)
+		gens = append(gens, next)
+	}
+	for g, tr := range gens {
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("gen %d: %v", g, err)
+		}
+		if tr.Len() != 5_000+g {
+			t.Fatalf("gen %d: Len = %d", g, tr.Len())
+		}
+		for i := 1; i <= 5; i++ {
+			_, ok := tr.Get(uint64(1_000_000 + i))
+			if ok != (i <= g) {
+				t.Fatalf("gen %d sees key of gen %d: %v", g, i, ok)
+			}
+		}
+	}
+}

@@ -2,73 +2,138 @@ package core
 
 import "fitingtree/internal/num"
 
-// maxChainWalk bounds how many pages LookupBatch advances along the chain
-// before falling back to a fresh router descent: consecutive sorted probes
-// usually land on the same or an adjacent page, but a large key gap is
-// cheaper to cross through the router than one position at a time.
+// maxChainWalk bounds how many pages a sorted batch advances along the
+// chain before falling back to a fresh router descent: consecutive sorted
+// probes usually land on the same or an adjacent page, but a large key gap
+// is cheaper to cross through the router than one page at a time.
 const maxChainWalk = 16
 
 // LookupBatch performs Lookup for every element of keys and returns values
-// and found flags parallel to keys. Probes are processed in ascending key
-// order so that keys routed to the same page run reuse the previous
-// descent and advance along the page chain — one router descent per page
-// run instead of one per key. Already-sorted probe sets (common when the
-// batch comes from a sorted join side) skip the sorting pass entirely.
-// Duplicate semantics match Lookup: an arbitrary match is returned.
+// and found flags parallel to keys. Already-sorted probe sets (common when
+// the batch comes from a sorted join side) amortize router descents by
+// walking the page chain forward between probes. Unsorted probe sets are
+// processed in input order with per-routed-page grouping: one router
+// descent resolves a page group's key range, and every subsequent probe
+// falling into that range reuses the descent — no global permutation sort,
+// which used to dominate the random-probe case. Duplicate semantics match
+// Lookup: an arbitrary match is returned.
 func (t *Tree[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	vals := make([]V, len(keys))
 	found := make([]bool, len(keys))
-	if len(keys) == 0 || len(t.chain) == 0 {
+	if len(keys) == 0 || len(t.chunks) == 0 {
 		return vals, found
 	}
-	order := ProbeOrder(keys) // nil when keys are already ascending
-
-	pos := -1 // candidate position left by the previous (smaller) probe
-	for n := range keys {
-		oi := n
-		if order != nil {
-			oi = int(order[n])
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.lookupBatchGrouped(keys, vals, found)
+			return vals, found
 		}
-		k := keys[oi]
-		if pos < 0 {
-			pos = t.firstCandidate(k)
+	}
+	t.lookupBatchSorted(keys, vals, found)
+	return vals, found
+}
+
+// lookupBatchSorted serves an ascending probe set: each probe starts from
+// the page the previous one ended on and advances along the chain, so keys
+// routed to the same page run cost one descent total.
+func (t *Tree[K, V]) lookupBatchSorted(keys []K, vals []V, found []bool) {
+	var cu cursor[K, V]
+	have := false
+	for n, k := range keys {
+		if !have {
+			cu, have = t.firstCandidate(k)
 		} else {
 			// Probes ascend, so the owning page can only move forward.
 			for i := 0; ; i++ {
-				if pos+1 == len(t.chain) || t.chain[pos+1].start() > k {
+				nx, has := t.next(cu)
+				if !has || t.pageOf(nx).start() > k {
 					break
 				}
 				if i == maxChainWalk {
-					pos = t.locate(k)
+					cu, _ = t.locateCursor(k)
 					break
 				}
-				pos++
+				cu = nx
 			}
 			// Duplicate runs can spill keys equal to k into the tails of
 			// preceding pages (see firstCandidate).
-			for pos > 0 && t.chain[pos-1].lastKey() >= k {
-				pos--
-			}
+			cu = t.backUp(cu, k)
 		}
-		// Search forward across the equal-start run, like Lookup.
-		for q := pos; q < len(t.chain); q++ {
-			if v, ok := t.searchPage(t.chain[q], k); ok {
-				vals[oi], found[oi] = v, true
-				break
+		vals[n], found[n] = t.searchRun(cu, k)
+	}
+}
+
+// lookupBatchGrouped serves an arbitrary-order probe set. For each probe
+// it checks whether the key falls into the routed key range resolved by
+// the previous descent — [group's routing key, next routing key) — and if
+// so reuses that descent's page without touching the router; otherwise it
+// pays one fresh devirtualized descent, which yields the range as a side
+// effect (FloorWithNext). Random probes thus cost one descent each (like
+// single lookups) but skip the permutation sort the old path paid, and
+// locally clustered probe sets collapse to one descent per routed page
+// even when globally unsorted.
+func (t *Tree[K, V]) lookupBatchGrouped(keys []K, vals []V, found []bool) {
+	var gp *page[K, V] // the group's routed page
+	var groupLo K      // the group's routing key
+	var groupHi K      // smallest routed key > groupLo (valid if bounded)
+	bounded := false
+	for n, k := range keys {
+		if gp == nil || k < groupLo || (bounded && k >= groupHi) {
+			var ok bool
+			if t.rim != nil {
+				gp, groupHi, bounded, ok = t.rim.floorWithNext(k)
+			} else {
+				_, gp, groupHi, bounded, ok = t.rbt.FloorWithNext(k)
 			}
-			if q+1 == len(t.chain) || t.chain[q+1].start() > k {
-				break
+			if !ok {
+				// k precedes every routing key: the chain's first page is
+				// the only one that can hold k (as a buffered insert).
+				// Serve the probe without caching a group.
+				vals[n], found[n] = t.searchPage(t.chunks[0].pages[0], k)
+				gp = nil
+				continue
 			}
+			groupLo = gp.start()
+		}
+		// Same fast path as Lookup: the routed page resolves almost every
+		// probe; only a miss derives chain coordinates.
+		if v, ok := t.searchPage(gp, k); ok {
+			vals[n], found[n] = v, true
+		} else {
+			vals[n], found[n] = t.searchFrom(t.pageCursor(gp), k)
 		}
 	}
-	return vals, found
+}
+
+// searchFrom runs the tail of a point lookup for k from the routed floor
+// cursor cu: back up over duplicate spill, then search forward across the
+// equal-start run.
+func (t *Tree[K, V]) searchFrom(cu cursor[K, V], k K) (V, bool) {
+	return t.searchRun(t.backUp(cu, k), k)
+}
+
+// searchRun searches forward from cu across the pages that may contain k,
+// exactly as Lookup does.
+func (t *Tree[K, V]) searchRun(cu cursor[K, V], k K) (V, bool) {
+	for {
+		if v, ok := t.searchPage(t.pageOf(cu), k); ok {
+			return v, true
+		}
+		nx, has := t.next(cu)
+		if !has || t.pageOf(nx).start() > k {
+			var zero V
+			return zero, false
+		}
+		cu = nx
+	}
 }
 
 // ProbeOrder returns a permutation visiting keys in ascending order, or
 // nil when keys are already sorted (the free fast path). The sort is the
 // specialized closure-free quicksort of the batch hot path; batch-style
 // callers outside the package (e.g. the sharded facade's scatter-gather)
-// reuse it rather than paying sort.Sort's interface dispatch.
+// use it to presort sub-batches rather than paying sort.Sort's interface
+// dispatch.
 func ProbeOrder[K num.Key](keys []K) []int32 {
 	ascending := true
 	for i := 1; i < len(keys); i++ {
@@ -90,8 +155,7 @@ func ProbeOrder[K num.Key](keys []K) []int32 {
 
 // sortPerm sorts the permutation p by keys[p[i]]: a median-of-three
 // quicksort with an insertion-sorted tail, specialized so every comparison
-// is a direct key compare instead of sort.Slice's closure call — the sort
-// is on LookupBatch's critical path and dominates it for random probes.
+// is a direct key compare instead of sort.Slice's closure call.
 func sortPerm[K num.Key](keys []K, p []int32) {
 	for len(p) > 12 {
 		m := len(p) / 2

@@ -22,18 +22,26 @@ type MergeOp[K num.Key, V any] struct {
 // MergeCOW folds ops — which must be sorted by strictly ascending Key —
 // into the tree copy-on-write: it returns a new tree in which only the
 // pages some op's key falls into are rebuilt (merged with the pending
-// writes and re-segmented under the same error bound) while every
-// untouched page is shared, by reference, with the receiver. The receiver
-// is not modified and both trees remain fully readable afterwards; shared
-// pages must not be mutated through either tree, so the result is meant
-// for publication-style use (see the Optimistic facade, whose flush this
-// implements).
+// writes and re-segmented under the same error bound) and only the chunks
+// overlapping a dirty interval are re-cut, while every untouched page,
+// every untouched chunk, and — with the default B+ tree router — every
+// router node off the rewritten entries' descent paths is shared, by
+// reference, with the receiver. The receiver is not modified (only read)
+// and both trees remain fully readable afterwards; shared structure must
+// not be mutated through either tree, so the result is meant for
+// publication-style use (see the Optimistic facade, whose flush this
+// implements). When ops is empty the receiver itself is returned.
 //
 // Because segments partition the key space, a batch of d pending writes
-// touches at most O(d) pages regardless of tree size: the merge costs
-// O(pages touched · page size + adds + segments) instead of the O(n) a
-// whole-tree rebuild pays, which is what makes flushing a small delta into
-// a large tree cheap.
+// touches at most O(d) pages regardless of tree size, and publication
+// work scales with those dirty pages alone: O(pages touched · page size +
+// adds) to rebuild data, O(dirty segments · log segments) of router
+// edits — the router addresses pages directly, so entries of carried
+// pages survive even when their chunk is re-cut — and one pointer-array
+// copy of the chunk spine (pages / chunkTarget entries). The pre-chunked
+// design instead re-derived the whole router (O(segments) bulk load) and
+// copied the full page array on every flush, which dominated publication
+// at large segment counts.
 func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 	for i := range ops {
 		if ops[i].Key != ops[i].Key {
@@ -43,13 +51,17 @@ func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 			panic("fitingtree: MergeCOW ops not sorted by strictly ascending key")
 		}
 	}
+	if len(ops) == 0 {
+		// A no-op merge shares everything; the receiver already is that
+		// tree, so cloning the spine and router would be pure waste.
+		return t
+	}
 	nt := &Tree[K, V]{
 		opts:     t.opts,
 		segErr:   t.segErr,
 		strat:    t.strat,
 		counters: t.counters,
 	}
-	nt.initRouter(t.opts)
 
 	addN := 0
 	for _, op := range ops {
@@ -57,9 +69,10 @@ func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 	}
 	deleted := 0
 
-	if len(t.chain) == 0 {
+	if len(t.chunks) == 0 {
 		// Bootstrap: no pages to merge with, the content is the adds alone
 		// (tombstones cannot outnumber zero base matches).
+		nt.initRouter(t.opts)
 		keys := make([]K, 0, addN)
 		vals := make([]V, 0, addN)
 		for _, op := range ops {
@@ -68,31 +81,51 @@ func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 				vals = append(vals, v)
 			}
 		}
-		nt.chain = t.buildPages(keys, vals, &nt.counters)
+		nt.chunks = cutChunks(t.buildPages(keys, vals, &nt.counters))
+		if err := nt.loadRouter(t.opts.FillFactor); err != nil {
+			// Unreachable: op keys are strictly ascending.
+			panic(fmt.Sprintf("fitingtree: MergeCOW router bootstrap: %v", err))
+		}
 	} else {
 		ivs := t.dirtyIntervals(ops)
-		newChain := make([]*page[K, V], 0, len(t.chain)+len(ivs))
-		next := 0 // next untouched page to share with the parent tree
-		for _, iv := range ivs {
-			newChain = append(newChain, t.chain[next:iv.lo]...)
-			keys, vals, d := t.mergeRegion(iv.lo, iv.hi, ops[iv.opLo:iv.opHi])
+
+		// Rebuild the dirty regions' content (reads only the receiver).
+		rebuilt := make([][]*page[K, V], len(ivs))
+		dirty := 0
+		for i, iv := range ivs {
+			keys, vals, d := t.mergeRegion(iv, ops[iv.opLo:iv.opHi])
 			deleted += d
-			newChain = append(newChain, t.buildPages(keys, vals, &nt.counters)...)
-			next = iv.hi + 1
+			rebuilt[i] = t.buildPages(keys, vals, &nt.counters)
+			dirty += t.regionLen(iv)
 		}
-		newChain = append(newChain, t.chain[next:]...)
-		nt.chain = newChain
+
+		// Router maintenance is hybrid. The persistent clone pays a few
+		// node copies (O(log segments)) per dirty routed page; a bulk
+		// reload pays O(segments) once but with bulk-load constants —
+		// roughly one slice append per entry. The measured crossover sits
+		// near one router edit per ~32 entries, so clone incrementally
+		// only when the delta dirties less than that fraction of the
+		// pages; a scattered delta falls back to the bulk load, which
+		// still shares every carried page and untouched chunk.
+		incremental := dirty*32 < t.pageCount()
+		if incremental {
+			nt.adoptRouter(t)
+			t.retireDirtyEntries(nt, ivs)
+			t.insertRebuiltEntries(nt, ivs, rebuilt)
+		}
+		t.spliceClusters(nt, ivs, rebuilt)
+		if !incremental {
+			nt.initRouter(t.opts)
+			if err := nt.loadRouter(t.opts.FillFactor); err != nil {
+				// Unreachable: the assembled chain is key-ordered.
+				panic(fmt.Sprintf("fitingtree: MergeCOW router reload: %v", err))
+			}
+		}
 	}
 
 	nt.counters.Inserts += addN
 	nt.counters.Deletes += deleted
 	nt.size = t.size + addN - deleted
-	rk, rp := routedEntries(nt.chain)
-	if err := nt.idx.bulkLoad(rk, rp, t.opts.FillFactor); err != nil {
-		// Unreachable: the chain is key-ordered, so routed start keys are
-		// strictly ascending.
-		panic(fmt.Sprintf("fitingtree: MergeCOW router rebuild: %v", err))
-	}
 	return nt
 }
 
@@ -110,14 +143,124 @@ func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 // second actually dirties. Empty layers are skipped; with both empty the
 // receiver itself is returned.
 func (t *Tree[K, V]) MergeCOW2(first, second []MergeOp[K, V]) *Tree[K, V] {
-	nt := t
-	if len(first) > 0 {
-		nt = nt.MergeCOW(first)
+	return t.MergeCOW(first).MergeCOW(second)
+}
+
+// retireDirtyEntries deletes from nt's router the entry of every dirty
+// page that heads an equal-start run in the receiver's chain. Dirty pages
+// continuing a run that starts on a carried page own no entry, and the
+// run head's entry — addressing a page the merge carries — stays valid
+// untouched. All deletes run before any insert so a key whose run head
+// moves between intervals cannot transiently alias.
+func (t *Tree[K, V]) retireDirtyEntries(nt *Tree[K, V], ivs []cowInterval) {
+	for _, iv := range ivs {
+		pred := t.pageBefore(iv)
+		t.eachRegionPage(iv, func(p *page[K, V]) {
+			if pred == nil || pred.start() != p.start() {
+				nt.idx.delete(p.start())
+			}
+			pred = p
+		})
 	}
-	if len(second) > 0 {
-		nt = nt.MergeCOW(second)
+}
+
+// insertRebuiltEntries registers the routing entries of the rebuilt pages
+// that head equal-start runs in the published chain, plus the first
+// carried page after each interval when the rebuild changed its run-head
+// role. pred tracks the published chain's predecessor page across
+// adjacent intervals, so run boundaries are judged against what readers
+// of the new tree will actually see.
+func (t *Tree[K, V]) insertRebuiltEntries(nt *Tree[K, V], ivs []cowInterval, rebuilt [][]*page[K, V]) {
+	var pred *page[K, V]
+	for j, iv := range ivs {
+		if j == 0 || !t.adjacent(ivs[j-1], iv) {
+			pred = t.pageBefore(iv)
+		}
+		for _, rp := range rebuilt[j] {
+			if pred == nil || pred.start() != rp.start() {
+				nt.idx.insert(rp.start(), rp)
+			}
+			pred = rp
+		}
+		after, ok := t.pageAfter(iv)
+		if !ok {
+			continue
+		}
+		if j+1 < len(ivs) && t.startsInterval(after, ivs[j+1]) {
+			continue // dirty itself; the next interval re-registers that region
+		}
+		if pred == nil || pred.start() != after.start() {
+			nt.idx.insert(after.start(), after)
+		}
 	}
-	return nt
+}
+
+// spliceClusters replaces the chunks overlapping dirty intervals in nt's
+// chunk spine. Intervals sharing a chunk form one cluster (a chunk is
+// re-cut at most once); within a cluster's chunk span, carried pages move
+// into the fresh chunks by reference and dirty ranges are substituted
+// with their rebuilt pages. Clusters splice right to left so the chunk
+// indices of pending clusters stay valid.
+func (t *Tree[K, V]) spliceClusters(nt *Tree[K, V], ivs []cowInterval, rebuilt [][]*page[K, V]) {
+	nt.chunks = append([]*chunk[K, V](nil), t.chunks...)
+	hi := len(ivs)
+	for hi > 0 {
+		// The cluster is ivs[lo:hi]; members share chunks pairwise.
+		lo := hi - 1
+		for lo > 0 && ivs[lo].loCI <= ivs[lo-1].hiCI {
+			lo--
+		}
+		cLo, cHi := ivs[lo].loCI, ivs[hi-1].hiCI
+		var np []*page[K, V]
+		pos := cursor[K, V]{c: t.chunks[cLo], pi: 0, ci: cLo}
+		valid := true
+		for j := lo; j < hi; j++ {
+			iv := ivs[j]
+			for valid && !(pos.ci == iv.loCI && pos.pi == iv.loPI) {
+				np = append(np, t.pageOf(pos))
+				pos, valid = t.next(pos)
+			}
+			np = append(np, rebuilt[j]...)
+			pos, valid = t.next(cursor[K, V]{c: t.chunks[iv.hiCI], pi: iv.hiPI, ci: iv.hiCI})
+		}
+		for valid && pos.ci <= cHi {
+			np = append(np, t.pageOf(pos))
+			pos, valid = t.next(pos)
+		}
+		nt.chunks = spliceChunks(nt.chunks, cLo, cHi-cLo+1, cutChunks(np))
+		hi = lo
+	}
+}
+
+// pageBefore returns the receiver-chain page preceding the interval's
+// first page, or nil at the chain head.
+func (t *Tree[K, V]) pageBefore(iv cowInterval) *page[K, V] {
+	cu := cursor[K, V]{c: t.chunks[iv.loCI], pi: iv.loPI, ci: iv.loCI}
+	if pv, ok := t.prev(cu); ok {
+		return t.pageOf(pv)
+	}
+	return nil
+}
+
+// pageAfter returns the receiver-chain page following the interval's last
+// page.
+func (t *Tree[K, V]) pageAfter(iv cowInterval) (*page[K, V], bool) {
+	cu := cursor[K, V]{c: t.chunks[iv.hiCI], pi: iv.hiPI, ci: iv.hiCI}
+	if nx, ok := t.next(cu); ok {
+		return t.pageOf(nx), true
+	}
+	return nil, false
+}
+
+// adjacent reports whether b's first page immediately follows a's last.
+func (t *Tree[K, V]) adjacent(a, b cowInterval) bool {
+	nx, ok := t.next(cursor[K, V]{c: t.chunks[a.hiCI], pi: a.hiPI, ci: a.hiCI})
+	return ok && nx.ci == b.loCI && nx.pi == b.loPI
+}
+
+// startsInterval reports whether p is the interval's first page.
+func (t *Tree[K, V]) startsInterval(p *page[K, V], iv cowInterval) bool {
+	return t.chunks[iv.loCI].pages[iv.loPI] == p
 }
 
 // buildPages re-segments a sorted merged run into fresh pages, counting the
@@ -141,49 +284,60 @@ func (t *Tree[K, V]) buildPages(keys []K, vals []V, ctr *Counters) []*page[K, V]
 	return pages
 }
 
-// cowInterval is a maximal dirty run of chain positions [lo, hi] together
-// with the ops [opLo, opHi) whose keys fall into it.
+// cowInterval is a maximal dirty run of pages — (loCI, loPI) through
+// (hiCI, hiPI), inclusive, in (chunk index, page index) coordinates of
+// the receiver's chain — together with the ops [opLo, opHi) whose keys
+// fall into it.
 type cowInterval struct {
-	lo, hi     int
+	loCI, loPI int
+	hiCI, hiPI int
 	opLo, opHi int
 }
 
-// dirtyIntervals maps each op to the chain positions it touches and
-// coalesces overlapping ranges. An op that only inserts touches the page
-// the key routes to (the page Insert would buffer it in) through the end
-// of the key's equal-start run, so its adds land after every base match of
-// the key; an op with tombstones additionally reaches back to the first
-// candidate page, because "first Dels matches in scan order" is a property
-// of the whole run, duplicate spill included.
+// dirtyIntervals maps each op to the pages it touches and coalesces
+// overlapping ranges. An op that only inserts touches the page Insert
+// would buffer it in through the end of the key's equal-start run, so its
+// adds land after every base match of the key; an op with tombstones
+// additionally reaches back to the first candidate page, because "first
+// Dels matches in scan order" is a property of the whole run, duplicate
+// spill included.
 func (t *Tree[K, V]) dirtyIntervals(ops []MergeOp[K, V]) []cowInterval {
 	var ivs []cowInterval
 	for oi, op := range ops {
 		k := op.Key
-		var lo int
+		var lo cursor[K, V]
 		if op.Dels > 0 {
-			lo = t.firstCandidate(k)
+			lo, _ = t.firstCandidate(k)
 		} else {
-			lo = t.insertPos(k)
+			lo, _ = t.insertCursor(k)
 		}
 		// Adds sort after every base match of k, and matches can continue
 		// through the key's equal-start run, so the region always extends
 		// to the run's last page.
 		hi := lo
-		for hi+1 < len(t.chain) && t.chain[hi+1].start() <= k {
-			hi++
-		}
-		iv := cowInterval{lo: lo, hi: hi, opLo: oi, opHi: oi + 1}
-		// Coalesce with earlier intervals. Ops ascend by key so interval
-		// ends ascend too, but a tombstone's first-candidate walk can reach
-		// left of an earlier interval, so merging may cascade.
-		for n := len(ivs); n > 0 && iv.lo <= ivs[n-1].hi; n = len(ivs) {
-			prev := ivs[n-1]
-			ivs = ivs[:n-1]
-			if prev.lo < iv.lo {
-				iv.lo = prev.lo
+		for {
+			nx, has := t.next(hi)
+			if !has || t.pageOf(nx).start() > k {
+				break
 			}
-			if prev.hi > iv.hi {
-				iv.hi = prev.hi
+			hi = nx
+		}
+		iv := cowInterval{lo.ci, lo.pi, hi.ci, hi.pi, oi, oi + 1}
+		// Coalesce with earlier intervals this one's pages overlap. Ops
+		// ascend by key so interval ends ascend too, but a tombstone's
+		// first-candidate walk can reach left of an earlier interval, so
+		// merging may cascade.
+		for n := len(ivs); n > 0; n = len(ivs) {
+			prev := ivs[n-1]
+			if iv.loCI > prev.hiCI || (iv.loCI == prev.hiCI && iv.loPI > prev.hiPI) {
+				break
+			}
+			ivs = ivs[:n-1]
+			if prev.loCI < iv.loCI || (prev.loCI == iv.loCI && prev.loPI < iv.loPI) {
+				iv.loCI, iv.loPI = prev.loCI, prev.loPI
+			}
+			if prev.hiCI > iv.hiCI || (prev.hiCI == iv.hiCI && prev.hiPI > iv.hiPI) {
+				iv.hiCI, iv.hiPI = prev.hiCI, prev.hiPI
 			}
 			iv.opLo = prev.opLo
 		}
@@ -192,16 +346,16 @@ func (t *Tree[K, V]) dirtyIntervals(ops []MergeOp[K, V]) []cowInterval {
 	return ivs
 }
 
-// mergeRegion merges the content of chain[lo..hi] with ops into one sorted
-// run, applying tombstones as it goes, and reports how many elements the
-// tombstones removed. Ties keep the read order the Optimistic facade
-// promises: surviving base matches (scan order) first, then pending adds in
-// insertion order.
-func (t *Tree[K, V]) mergeRegion(lo, hi int, ops []MergeOp[K, V]) ([]K, []V, int) {
+// mergeRegion merges the content of the dirty pages of iv with ops into
+// one sorted run, applying tombstones as it goes, and reports how many
+// elements the tombstones removed. Ties keep the read order the Optimistic
+// facade promises: surviving base matches (scan order) first, then pending
+// adds in insertion order.
+func (t *Tree[K, V]) mergeRegion(iv cowInterval, ops []MergeOp[K, V]) ([]K, []V, int) {
 	total := 0
-	for i := lo; i <= hi; i++ {
-		total += len(t.chain[i].keys) + len(t.chain[i].bufKeys)
-	}
+	t.eachRegionPage(iv, func(p *page[K, V]) {
+		total += len(p.keys) + len(p.bufKeys)
+	})
 	addN := 0
 	for _, op := range ops {
 		addN += len(op.Adds)
@@ -214,8 +368,7 @@ func (t *Tree[K, V]) mergeRegion(lo, hi int, ops []MergeOp[K, V]) ([]K, []V, int
 	}
 	deleted := 0
 	oi := 0
-	for pi := lo; pi <= hi; pi++ {
-		p := t.chain[pi]
+	t.eachRegionPage(iv, func(p *page[K, V]) {
 		i, j := 0, 0
 		for i < len(p.keys) || j < len(p.bufKeys) {
 			useData := j >= len(p.bufKeys) ||
@@ -246,7 +399,7 @@ func (t *Tree[K, V]) mergeRegion(lo, hi int, ops []MergeOp[K, V]) ([]K, []V, int
 			keys = append(keys, bk)
 			vals = append(vals, bv)
 		}
-	}
+	})
 	for ; oi < len(ops); oi++ {
 		for _, v := range ops[oi].Adds {
 			keys = append(keys, ops[oi].Key)
@@ -254,4 +407,42 @@ func (t *Tree[K, V]) mergeRegion(lo, hi int, ops []MergeOp[K, V]) ([]K, []V, int
 		}
 	}
 	return keys, vals, deleted
+}
+
+// pageCount returns the number of pages in the chain, by summing chunk
+// lengths (O(chunks)).
+func (t *Tree[K, V]) pageCount() int {
+	n := 0
+	for _, c := range t.chunks {
+		n += len(c.pages)
+	}
+	return n
+}
+
+// regionLen returns the number of pages iv spans.
+func (t *Tree[K, V]) regionLen(iv cowInterval) int {
+	n := 0
+	for ci := iv.loCI; ci <= iv.hiCI; ci++ {
+		n += len(t.chunks[ci].pages)
+	}
+	n -= iv.loPI
+	n -= len(t.chunks[iv.hiCI].pages) - iv.hiPI - 1
+	return n
+}
+
+// eachRegionPage visits the dirty pages of iv in chain order.
+func (t *Tree[K, V]) eachRegionPage(iv cowInterval, fn func(p *page[K, V])) {
+	for ci := iv.loCI; ci <= iv.hiCI; ci++ {
+		pages := t.chunks[ci].pages
+		lo, hi := 0, len(pages)
+		if ci == iv.loCI {
+			lo = iv.loPI
+		}
+		if ci == iv.hiCI {
+			hi = iv.hiPI + 1
+		}
+		for _, p := range pages[lo:hi] {
+			fn(p)
+		}
+	}
 }

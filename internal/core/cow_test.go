@@ -95,7 +95,24 @@ func buildCOWBase(t *testing.T, keys []uint64, opts Options) *Tree[uint64, uint6
 	return tr
 }
 
+// routerKinds names both router kinds for the test matrix: the COW/merge
+// model must hold under the persistent B+ tree router and the
+// rebuild-on-publication implicit router alike.
+var routerKinds = []struct {
+	name string
+	kind RouterKind
+}{
+	{"btree", RouterBTree},
+	{"implicit", RouterImplicit},
+}
+
 func TestMergeCOWMatchesModel(t *testing.T) {
+	for _, rk := range routerKinds {
+		t.Run(rk.name, func(t *testing.T) { testMergeCOWMatchesModel(t, rk.kind) })
+	}
+}
+
+func testMergeCOWMatchesModel(t *testing.T, kind RouterKind) {
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 40; trial++ {
 		n := 200 + rng.Intn(3000)
@@ -115,10 +132,7 @@ func TestMergeCOWMatchesModel(t *testing.T) {
 			}
 			keys[i] = k
 		}
-		opts := Options{Error: 8 + rng.Intn(24), BufferSize: 4}
-		if trial%2 == 1 {
-			opts.Router = RouterImplicit
-		}
+		opts := Options{Error: 8 + rng.Intn(24), BufferSize: 4, Router: kind}
 		base := buildCOWBase(t, keys, opts)
 		before := contents(base)
 
@@ -339,21 +353,18 @@ func TestMergeCOWEdgeCases(t *testing.T) {
 		}
 	}
 
-	// No ops: full structural sharing.
+	// No ops: a no-op merge must not clone anything — the receiver itself
+	// comes back, pointer-identical (same for an empty non-nil op list).
 	keys := make([]uint64, 10_000)
 	for i := range keys {
 		keys[i] = uint64(i * 3)
 	}
 	base := buildCOWBase(t, keys, Options{Error: 32, BufferSize: 8})
-	clone := base.MergeCOW(nil)
-	baseIDs, cloneIDs := base.PageIDs(), clone.PageIDs()
-	if len(baseIDs) != len(cloneIDs) {
-		t.Fatalf("page counts differ: %d vs %d", len(baseIDs), len(cloneIDs))
+	if clone := base.MergeCOW(nil); clone != base {
+		t.Fatal("MergeCOW(nil) did not return the receiver")
 	}
-	for i := range baseIDs {
-		if baseIDs[i] != cloneIDs[i] {
-			t.Fatalf("page %d not shared", i)
-		}
+	if clone := base.MergeCOW([]MergeOp[uint64, uint64]{}); clone != base {
+		t.Fatal("MergeCOW(empty) did not return the receiver")
 	}
 
 	// Delete everything in one region.
@@ -446,6 +457,12 @@ func benchOps(tr *Tree[uint64, uint64], delta int) []MergeOp[uint64, uint64] {
 // MergeCOW2's physical fold — the contract the Optimistic facade's
 // frozen/active delta pair relies on.
 func TestMergeCOW2Layering(t *testing.T) {
+	for _, rk := range routerKinds {
+		t.Run(rk.name, func(t *testing.T) { testMergeCOW2Layering(t, rk.kind) })
+	}
+}
+
+func testMergeCOW2Layering(t *testing.T, kind RouterKind) {
 	rng := rand.New(rand.NewSource(137))
 	genOps := func(stream []pair, maxKey uint64) []MergeOp[uint64, uint64] {
 		opKeys := map[uint64]bool{}
@@ -488,7 +505,7 @@ func TestMergeCOW2Layering(t *testing.T) {
 			}
 			keys[i] = k
 		}
-		base := buildCOWBase(t, keys, Options{Error: 8 + rng.Intn(24), BufferSize: 4})
+		base := buildCOWBase(t, keys, Options{Error: 8 + rng.Intn(24), BufferSize: 4, Router: kind})
 		before := contents(base)
 
 		first := genOps(before, k)

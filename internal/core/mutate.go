@@ -15,39 +15,41 @@ func (t *Tree[K, V]) Insert(k K, v V) {
 	}
 	t.counters.Inserts++
 	t.size++
-	pos := t.insertPos(k)
-	if pos < 0 {
-		// Empty tree: create the initial page.
-		t.chain = []*page[K, V]{newPage(
-			segment.Segment[K]{Start: k, Count: 1, Slope: 0}, []K{k}, []V{v},
-		)}
-		t.idx.insert(k, 0)
+	cu, ok := t.insertCursor(k)
+	if !ok {
+		// Empty tree: create the initial page and chunk.
+		p := newPage(segment.Segment[K]{Start: k, Count: 1, Slope: 0}, []K{k}, []V{v})
+		t.chunks = []*chunk[K, V]{newChunk([]*page[K, V]{p})}
+		t.idx.insert(k, p)
 		return
 	}
-	p := t.chain[pos]
+	p := t.pageOf(cu)
 	i, _ := findKey(p.bufKeys, k)
 	p.bufKeys = insertAt(p.bufKeys, i, k)
 	p.bufVals = insertAt(p.bufVals, i, v)
 	if len(p.bufKeys) >= num.MaxInt(1, t.opts.BufferSize) {
-		t.merge(pos)
+		t.merge(cu)
 	}
 }
 
-// insertPos returns the chain position Insert buffers k into, or -1 for an
+// insertCursor returns the page Insert buffers k into; ok is false for an
 // empty tree. The router maps to the first page of an equal-start run; the
 // key may belong to a later page of the run (or to the page covering the
 // gap after it), so advance to the last page whose routing key precedes k.
 // MergeCOW opens its dirty regions with the same rule, so buffered and
 // flushed placement of a key cannot drift apart.
-func (t *Tree[K, V]) insertPos(k K) int {
-	pos := t.locate(k)
-	if pos < 0 {
-		return -1
+func (t *Tree[K, V]) insertCursor(k K) (cursor[K, V], bool) {
+	cu, ok := t.locateCursor(k)
+	if !ok {
+		return cu, false
 	}
-	for pos+1 < len(t.chain) && t.chain[pos+1].start() < k {
-		pos++
+	for {
+		nx, has := t.next(cu)
+		if !has || t.pageOf(nx).start() >= k {
+			return cu, true
+		}
+		cu = nx
 	}
-	return pos
 }
 
 // Delete removes one element with key k and reports whether one was found.
@@ -63,14 +65,18 @@ func (t *Tree[K, V]) Delete(k K) bool {
 // pred, reporting whether one was removed. It lets callers disambiguate
 // duplicates (e.g. a secondary index deleting one specific row posting).
 func (t *Tree[K, V]) DeleteWhere(k K, pred func(V) bool) bool {
-	for pos := t.firstCandidate(k); pos >= 0 && pos < len(t.chain); pos++ {
-		p := t.chain[pos]
+	cu, ok := t.firstCandidate(k)
+	if !ok {
+		return false
+	}
+	for {
+		p := t.pageOf(cu)
 		if i, ok := findKey(p.bufKeys, k); ok {
 			for j := i; j < len(p.bufKeys) && p.bufKeys[j] == k; j++ {
 				if pred(p.bufVals[j]) {
 					p.bufKeys = removeAt(p.bufKeys, j)
 					p.bufVals = removeAt(p.bufVals, j)
-					t.afterDelete(pos)
+					t.afterDelete(cu)
 					return true
 				}
 			}
@@ -83,74 +89,115 @@ func (t *Tree[K, V]) DeleteWhere(k K, pred func(V) bool) bool {
 					p.keys = removeAt(p.keys, j)
 					p.vals = removeAt(p.vals, j)
 					p.deletes++
-					t.afterDelete(pos)
+					t.afterDelete(cu)
 					return true
 				}
 			}
 		}
-		if pos+1 == len(t.chain) || t.chain[pos+1].start() > k {
+		nx, has := t.next(cu)
+		if !has || t.pageOf(nx).start() > k {
 			return false
 		}
+		cu = nx
 	}
-	return false
 }
 
-// afterDelete updates accounting and re-segments or drops the page at pos
+// afterDelete updates accounting and re-segments or drops the page at cu
 // when deletions have eroded it.
-func (t *Tree[K, V]) afterDelete(pos int) {
+func (t *Tree[K, V]) afterDelete(cu cursor[K, V]) {
 	t.counters.Deletes++
 	t.size--
-	p := t.chain[pos]
+	p := t.pageOf(cu)
 	if len(p.keys) == 0 && len(p.bufKeys) == 0 {
-		t.removePage(pos)
+		t.removePage(cu)
 		return
 	}
 	// Bound the window widening: once deletions match the buffer budget,
 	// rebuild the page's model.
 	if p.deletes > 0 && p.deletes+len(p.bufKeys) > num.MaxInt(1, t.opts.BufferSize) {
-		t.merge(pos)
+		t.merge(cu)
 	}
 }
 
-// splice replaces removed pages of the chain at pos with the given pages
-// and renumbers the routing entries of every page past the spliced region.
-// Routing entries inside the region must be deleted (and the replacements
-// inserted) by the caller.
-//
-// The linked-list leaf level this slice replaced spliced in O(1); here a
-// page-count-changing splice moves the chain tail (memmove of pointers,
-// in place — no reallocation once capacity has grown) and renumbers the
-// router suffix. That is O(pages after pos), paid only on the minority of
-// merges whose re-segmentation changes the page count — the price of a
-// leaf level whose pages are shareable values (see MergeCOW).
-func (t *Tree[K, V]) splice(pos, removed int, pages []*page[K, V]) {
-	delta := len(pages) - removed
+// spliceChunks replaces chunks [ci, ci+removed) of s with repl.
+func spliceChunks[K num.Key, V any](s []*chunk[K, V], ci, removed int, repl []*chunk[K, V]) []*chunk[K, V] {
+	out := make([]*chunk[K, V], 0, len(s)-removed+len(repl))
+	out = append(out, s[:ci]...)
+	out = append(out, repl...)
+	out = append(out, s[ci+removed:]...)
+	return out
+}
+
+// splicePages replaces `removed` pages of cu's chunk starting at cu.pi
+// with pages. The edit is purely structural — the router addresses pages
+// directly, so only the caller's entry edits for the removed and added
+// pages matter, and no other entry is touched. If the result fits
+// chunkMax the chunk's spine is rewritten in place (legal only because
+// the plain Tree owns its chunks exclusively — published chunks are never
+// spliced, see chunk); an oversized result is re-cut into fresh chunks
+// and an emptied chunk is dropped from the chain.
+func (t *Tree[K, V]) splicePages(cu cursor[K, V], removed int, pages []*page[K, V]) {
+	c := cu.c
+	np := make([]*page[K, V], 0, len(c.pages)-removed+len(pages))
+	np = append(np, c.pages[:cu.pi]...)
+	np = append(np, pages...)
+	np = append(np, c.pages[cu.pi+removed:]...)
 	switch {
-	case delta == 0:
-		copy(t.chain[pos:], pages)
-		return
-	case delta < 0:
-		copy(t.chain[pos:], pages)
-		copy(t.chain[pos+len(pages):], t.chain[pos+removed:])
-		clear(t.chain[len(t.chain)+delta:]) // release dropped page refs
-		t.chain = t.chain[:len(t.chain)+delta]
+	case len(np) == 0:
+		t.chunks = spliceChunks(t.chunks, cu.ci, 1, nil)
+	case len(np) > chunkMax:
+		t.chunks = spliceChunks(t.chunks, cu.ci, 1, cutChunks(np))
 	default:
-		t.chain = append(t.chain, make([]*page[K, V], delta)...)
-		copy(t.chain[pos+len(pages):], t.chain[pos+removed:len(t.chain)-delta])
-		copy(t.chain[pos:], pages)
+		c.pages = np
 	}
-	t.idx.shift(pos+removed, delta)
 }
 
-// merge combines the page at pos with its buffer into one sorted run,
-// re-segments it with the bulk-loading algorithm, and splices the resulting
-// page(s) into the chain in place of it (Algorithm 4 lines 5-9).
-func (t *Tree[K, V]) merge(pos int) {
+// reindexSplice maintains the router across a splice that replaces the
+// page at cu with pages (possibly none): the replaced page's entry is
+// deleted if it was routed, entries are inserted for every new page that
+// heads an equal-start run, and the first surviving page after the splice
+// is re-registered if its run-head role changed. Inserting a run head's
+// entry also displaces, by key, the stale entry of a page that just lost
+// that role. Everything else in the router — in this chunk and every
+// other — addresses pages the splice carries and stays untouched.
+//
+// Callers invoke it BEFORE the structural splice, passing the replacement
+// pages, because it derives run boundaries from the pre-splice neighbors.
+func (t *Tree[K, V]) reindexSplice(cu cursor[K, V], pages []*page[K, V]) {
+	old := t.pageOf(cu)
+	if t.isRouted(cu) {
+		t.idx.delete(old.start())
+	}
+	var pred *page[K, V]
+	if pv, ok := t.prev(cu); ok {
+		pred = t.pageOf(pv)
+	}
+	for _, np := range pages {
+		if pred == nil || pred.start() != np.start() {
+			t.idx.insert(np.start(), np)
+		}
+		pred = np
+	}
+	// The page following the splice: routed now iff its start differs
+	// from the last new page's (or the splice predecessor's, when the
+	// page was removed without replacement).
+	if nx, ok := t.next(cu); ok {
+		after := t.pageOf(nx)
+		if pred == nil || pred.start() != after.start() {
+			t.idx.insert(after.start(), after)
+		}
+	}
+}
+
+// merge combines the page at cu with its buffer into one sorted run,
+// re-segments it with the bulk-loading algorithm, and splices the
+// resulting page(s) into the chain in place of it (Algorithm 4 lines 5-9).
+func (t *Tree[K, V]) merge(cu cursor[K, V]) {
 	t.counters.Merges++
-	p := t.chain[pos]
+	p := t.pageOf(cu)
 	mergedKeys, mergedVals := mergeSorted(p.keys, p.vals, p.bufKeys, p.bufVals)
 	if len(mergedKeys) == 0 {
-		t.removePage(pos)
+		t.removePage(cu)
 		return
 	}
 	segs := segment.ShrinkingCone(mergedKeys, t.opts.segError())
@@ -168,40 +215,16 @@ func (t *Tree[K, V]) merge(pos int) {
 		)
 	}
 
-	// A page is routed iff its start key differs from its chain
-	// predecessor's; p itself may be an unrouted member of an equal-start
-	// run (deletes and dup-chain inserts can merge those).
-	if t.routed(pos) {
-		t.idx.delete(p.start())
-	}
-	t.splice(pos, 1, pages)
-	for i, np := range pages {
-		at := pos + i
-		if at > 0 && t.chain[at-1].start() == np.start() {
-			continue // equal-start run: only its first page is routed
-		}
-		// The insert may displace the routing entry of the next existing
-		// page (equal start keys); that page then becomes chain-reachable
-		// only, which the derived routedness reflects automatically.
-		t.idx.insert(np.start(), at)
-	}
+	t.reindexSplice(cu, pages)
+	t.splicePages(cu, 1, pages)
 }
 
-// removePage splices an empty page out of the chain and the router,
-// promoting the next page of an equal-start run into the router if needed.
-func (t *Tree[K, V]) removePage(pos int) {
-	p := t.chain[pos]
-	wasRouted := t.routed(pos)
-	if wasRouted {
-		t.idx.delete(p.start())
-	}
-	t.splice(pos, 1, nil)
-	if wasRouted && pos < len(t.chain) && t.chain[pos].start() == p.start() {
-		// The removed page headed an equal-start run; promote its
-		// successor, which now heads the run at the removed page's old
-		// position.
-		t.idx.insert(p.start(), pos)
-	}
+// removePage splices an empty page out of the chain and the router; the
+// reindex pass promotes the next page of an equal-start run into the
+// router if the removed page headed one.
+func (t *Tree[K, V]) removePage(cu cursor[K, V]) {
+	t.reindexSplice(cu, nil)
+	t.splicePages(cu, 1, nil)
 }
 
 // mergeSorted merges two sorted key runs (with parallel values) into fresh

@@ -11,14 +11,14 @@ import (
 // range partitioner uses them as candidate cut points (starts) weighted by
 // how many elements each cut would move (weights). Weights sum to Len().
 func (t *Tree[K, V]) PageBounds() (starts []K, weights []int) {
-	if len(t.chain) == 0 {
+	if len(t.chunks) == 0 {
 		return nil, nil
 	}
-	starts = make([]K, len(t.chain))
-	weights = make([]int, len(t.chain))
-	for i, p := range t.chain {
-		starts[i] = p.start()
-		weights[i] = len(p.keys) + len(p.bufKeys)
+	for _, c := range t.chunks {
+		for _, p := range c.pages {
+			starts = append(starts, p.start())
+			weights = append(weights, len(p.keys)+len(p.bufKeys))
+		}
 	}
 	return starts, weights
 }

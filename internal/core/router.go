@@ -18,88 +18,90 @@ type RouterKind int
 
 const (
 	// RouterBTree organizes segments in the B+ tree substrate (default;
-	// the paper's design).
+	// the paper's design). It is persistently cloneable: MergeCOW
+	// publications share all router nodes off the mutated descent paths.
 	RouterBTree RouterKind = iota
 	// RouterImplicit organizes segments in an Eytzinger-layout implicit
 	// binary search tree: faster, smaller, and cache-friendlier to search,
-	// but every structural update rebuilds it, so it suits read-mostly
-	// workloads.
+	// but every structural update rebuilds it — and a COW publication
+	// copies it wholesale — so it suits read-mostly workloads.
 	RouterImplicit
 )
 
-// router is the internal index from segment start keys to page positions in
-// the tree's chain. Both implementations store at most one entry per key
-// (equal-start page runs register only their first page; see the page-chain
-// invariant), and because the chain is sorted the stored positions are
-// strictly increasing in key order — shift relies on that monotonicity.
-type router[K num.Key] interface {
-	floor(k K) (int, bool)
-	get(k K) (int, bool)
-	// insert registers position pos under k, reporting whether an existing
+// router is the internal index from segment start keys straight to the
+// segments' pages. Both implementations store at most one entry per key
+// (equal-start page runs register only their first page; see the
+// page-chain invariant). A page pointer is an address that no splice
+// invalidates as long as the page itself is carried — re-cutting the
+// chunk around a page changes its coordinates but not its entry — so the
+// interface has neither a suffix-renumbering nor a repointing operation,
+// and publication touches exactly the entries of pages it rebuilds.
+type router[K num.Key, V any] interface {
+	floor(k K) (*page[K, V], bool)
+	get(k K) (*page[K, V], bool)
+	// insert registers page p under k, reporting whether an existing
 	// entry was replaced.
-	insert(k K, pos int) bool
+	insert(k K, p *page[K, V]) bool
 	delete(k K) bool
-	// shift adds delta to every routed position >= minPos. Positions are
-	// strictly increasing in key order, so this is a suffix update; it is
-	// how a chain splice renumbers the pages past the spliced region.
-	shift(minPos, delta int)
 	len() int
-	bulkLoad(keys []K, pos []int, fill float64) error
+	bulkLoad(keys []K, pages []*page[K, V], fill float64) error
 	stats() btree.Stats
 	check() error
 }
 
 // btreeRouter adapts the B+ tree substrate to the router interface. Trees
-// install routers via initRouter, which also retains the concrete value so
-// the lookup hot path skips this interface.
-type btreeRouter[K num.Key] struct {
-	tr *btree.Tree[K, int]
+// install routers via initRouter (fresh) or adoptRouter (persistent
+// clone), which also retain the concrete value so the lookup hot path
+// skips this interface.
+type btreeRouter[K num.Key, V any] struct {
+	tr *btree.Tree[K, *page[K, V]]
 }
 
-func (r *btreeRouter[K]) floor(k K) (int, bool) {
-	_, p, ok := r.tr.Floor(k)
-	return p, ok
+func (r *btreeRouter[K, V]) floor(k K) (*page[K, V], bool) {
+	_, l, ok := r.tr.Floor(k)
+	return l, ok
 }
 
-func (r *btreeRouter[K]) get(k K) (int, bool) { return r.tr.Get(k) }
+func (r *btreeRouter[K, V]) get(k K) (*page[K, V], bool) { return r.tr.Get(k) }
 
-func (r *btreeRouter[K]) insert(k K, pos int) bool { return r.tr.Insert(k, pos) }
-func (r *btreeRouter[K]) delete(k K) bool          { return r.tr.Delete(k) }
+func (r *btreeRouter[K, V]) insert(k K, l *page[K, V]) bool { return r.tr.Insert(k, l) }
+func (r *btreeRouter[K, V]) delete(k K) bool                { return r.tr.Delete(k) }
 
-func (r *btreeRouter[K]) shift(minPos, delta int) {
-	// Positions are strictly increasing in key order, so the affected
-	// entries form a suffix: walk leaves from the largest key down and stop
-	// at the first entry below minPos.
-	r.tr.MutateDescend(func(_ K, pos int) (int, bool) {
-		if pos < minPos {
-			return pos, false
-		}
-		return pos + delta, true
-	})
+func (r *btreeRouter[K, V]) len() int { return r.tr.Len() }
+
+func (r *btreeRouter[K, V]) bulkLoad(keys []K, pages []*page[K, V], fill float64) error {
+	return r.tr.BulkLoad(keys, pages, fill)
 }
 
-func (r *btreeRouter[K]) len() int { return r.tr.Len() }
-
-func (r *btreeRouter[K]) bulkLoad(keys []K, pos []int, fill float64) error {
-	return r.tr.BulkLoad(keys, pos, fill)
-}
-
-func (r *btreeRouter[K]) stats() btree.Stats { return r.tr.Stats() }
-func (r *btreeRouter[K]) check() error       { return r.tr.CheckInvariants() }
+func (r *btreeRouter[K, V]) stats() btree.Stats { return r.tr.Stats() }
+func (r *btreeRouter[K, V]) check() error       { return r.tr.CheckInvariants() }
 
 // implicitRouter keeps routing keys in a sorted array searched through an
 // Eytzinger (BFS) layout. Searches touch one cache line per level with a
 // predictable access pattern; structural mutations rebuild both arrays in
 // O(n), which is cheap because n is the number of segments, not keys.
-type implicitRouter[K num.Key] struct {
-	keys []K   // sorted
-	pos  []int // chain positions, parallel to keys (strictly increasing)
-	eytz []K   // 1-based BFS layout of keys
-	perm []int32
+type implicitRouter[K num.Key, V any] struct {
+	keys  []K           // sorted
+	pages []*page[K, V] // routed pages, parallel to keys
+	eytz  []K           // 1-based BFS layout of keys
+	perm  []int32
+}
+
+// clone returns an independently mutable copy. The key and page arrays
+// are copied (insert overwrites entries in place); the derived Eytzinger
+// layout is shared until a structural mutation rebuilds it, since rebuild
+// replaces the layout slices wholesale.
+func (r *implicitRouter[K, V]) clone() *implicitRouter[K, V] {
+	return &implicitRouter[K, V]{
+		keys:  append([]K(nil), r.keys...),
+		pages: append([]*page[K, V](nil), r.pages...),
+		eytz:  r.eytz,
+		perm:  r.perm,
+	}
 }
 
 // rebuild derives the Eytzinger layout from the sorted arrays.
-func (r *implicitRouter[K]) rebuild() {
+func (r *implicitRouter[K, V]) rebuild() {
 	n := len(r.keys)
 	r.eytz = make([]K, n+1)
 	r.perm = make([]int32, n+1)
@@ -119,7 +121,7 @@ func (r *implicitRouter[K]) rebuild() {
 }
 
 // searchFloor returns the sorted index of the greatest key <= k, or -1.
-func (r *implicitRouter[K]) searchFloor(k K) int {
+func (r *implicitRouter[K, V]) searchFloor(k K) int {
 	n := len(r.keys)
 	if n == 0 {
 		return -1
@@ -139,68 +141,68 @@ func (r *implicitRouter[K]) searchFloor(k K) int {
 	return best
 }
 
-func (r *implicitRouter[K]) floor(k K) (int, bool) {
+func (r *implicitRouter[K, V]) floor(k K) (*page[K, V], bool) {
 	i := r.searchFloor(k)
 	if i < 0 {
-		return 0, false
+		return nil, false
 	}
-	return r.pos[i], true
+	return r.pages[i], true
 }
 
-func (r *implicitRouter[K]) get(k K) (int, bool) {
+// floorWithNext is floor extended with the next routing key (the floor
+// entry's successor), the validity range the batch path caches a descent
+// under. The sorted key array makes the successor a neighbor access.
+func (r *implicitRouter[K, V]) floorWithNext(k K) (p *page[K, V], nk K, hasNext, ok bool) {
+	i := r.searchFloor(k)
+	if i < 0 {
+		if len(r.keys) > 0 {
+			nk, hasNext = r.keys[0], true
+		}
+		return nil, nk, hasNext, false
+	}
+	if i+1 < len(r.keys) {
+		nk, hasNext = r.keys[i+1], true
+	}
+	return r.pages[i], nk, hasNext, true
+}
+
+func (r *implicitRouter[K, V]) get(k K) (*page[K, V], bool) {
 	i := r.searchFloor(k)
 	if i < 0 || r.keys[i] != k {
-		return 0, false
+		return nil, false
 	}
-	return r.pos[i], true
+	return r.pages[i], true
 }
 
-func (r *implicitRouter[K]) insert(k K, pos int) bool {
+func (r *implicitRouter[K, V]) insert(k K, l *page[K, V]) bool {
 	i, found := findKey(r.keys, k)
 	if found {
-		r.pos[i] = pos
+		r.pages[i] = l
 		// Keys unchanged: the layout stays valid.
 		return true
 	}
 	r.keys = insertAt(r.keys, i, k)
-	r.pos = insertAt(r.pos, i, pos)
+	r.pages = insertAt(r.pages, i, l)
 	r.rebuild()
 	return false
 }
 
-func (r *implicitRouter[K]) delete(k K) bool {
+func (r *implicitRouter[K, V]) delete(k K) bool {
 	i, found := findKey(r.keys, k)
 	if !found {
 		return false
 	}
 	r.keys = removeAt(r.keys, i)
-	r.pos = removeAt(r.pos, i)
+	r.pages = removeAt(r.pages, i)
 	r.rebuild()
 	return true
 }
 
-func (r *implicitRouter[K]) shift(minPos, delta int) {
-	// Positions are strictly increasing, so binary-search the suffix start.
-	lo, hi := 0, len(r.pos)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if r.pos[mid] < minPos {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	for ; lo < len(r.pos); lo++ {
-		r.pos[lo] += delta
-	}
-	// Keys unchanged: the layout stays valid.
-}
+func (r *implicitRouter[K, V]) len() int { return len(r.keys) }
 
-func (r *implicitRouter[K]) len() int { return len(r.keys) }
-
-func (r *implicitRouter[K]) bulkLoad(keys []K, pos []int, fill float64) error {
-	if len(keys) != len(pos) {
-		return fmt.Errorf("router: %d keys but %d positions", len(keys), len(pos))
+func (r *implicitRouter[K, V]) bulkLoad(keys []K, pages []*page[K, V], fill float64) error {
+	if len(keys) != len(pages) {
+		return fmt.Errorf("router: %d keys but %d pages", len(keys), len(pages))
 	}
 	for i := 1; i < len(keys); i++ {
 		if keys[i] <= keys[i-1] {
@@ -208,12 +210,12 @@ func (r *implicitRouter[K]) bulkLoad(keys []K, pos []int, fill float64) error {
 		}
 	}
 	r.keys = append([]K(nil), keys...)
-	r.pos = append([]int(nil), pos...)
+	r.pages = append([]*page[K, V](nil), pages...)
 	r.rebuild()
 	return nil
 }
 
-func (r *implicitRouter[K]) stats() btree.Stats {
+func (r *implicitRouter[K, V]) stats() btree.Stats {
 	h := 0
 	for n := len(r.keys); n > 0; n >>= 1 {
 		h++
@@ -222,20 +224,22 @@ func (r *implicitRouter[K]) stats() btree.Stats {
 		Len:       len(r.keys),
 		Height:    num.MaxInt(1, h),
 		LeafNodes: 1,
-		SizeBytes: int64(len(r.keys)) * 16, // key + position per entry
+		SizeBytes: int64(len(r.keys)) * 16, // key + page pointer per entry
 	}
 }
 
-func (r *implicitRouter[K]) check() error {
-	if len(r.keys) != len(r.pos) {
-		return fmt.Errorf("router: keys/pos length mismatch")
+func (r *implicitRouter[K, V]) check() error {
+	if len(r.keys) != len(r.pages) {
+		return fmt.Errorf("router: keys/pages length mismatch")
 	}
 	for i := 1; i < len(r.keys); i++ {
 		if r.keys[i] <= r.keys[i-1] {
 			return fmt.Errorf("router: keys out of order at %d", i)
 		}
-		if r.pos[i] <= r.pos[i-1] {
-			return fmt.Errorf("router: positions out of order at %d", i)
+	}
+	for i, p := range r.pages {
+		if p == nil || p.id == 0 {
+			return fmt.Errorf("router: nil or identity-less page at %d", i)
 		}
 	}
 	if len(r.eytz) != len(r.keys)+1 {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fitingtree/internal/segment"
 	"fitingtree/internal/workload"
 )
 
@@ -136,12 +137,17 @@ func TestQuickImplicitFloor(t *testing.T) {
 			}
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		r := &implicitRouter[uint64]{}
-		pos := make([]int, len(keys))
-		for i := range pos {
-			pos[i] = i
+		r := &implicitRouter[uint64, int]{}
+		// The floor search only consults keys; the routed pages just have
+		// to be real, so park every entry on one dummy page.
+		dummy := newPage(
+			segment.Segment[uint64]{Start: 0, Count: 1, Slope: 0}, []uint64{0}, []int{0},
+		)
+		pages := make([]*page[uint64, int], len(keys))
+		for i := range pages {
+			pages[i] = dummy
 		}
-		if err := r.bulkLoad(keys, pos, 1); err != nil {
+		if err := r.bulkLoad(keys, pages, 1); err != nil {
 			return false
 		}
 		for _, pr := range probes {

@@ -76,32 +76,37 @@ func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 	if hi < lo {
 		return
 	}
-	pos := t.locate(lo)
-	if pos < 0 {
+	// Keys equal to lo can spill into preceding pages' tails when
+	// duplicate runs cross page boundaries, so start at the first
+	// candidate page.
+	cu, ok := t.firstCandidate(lo)
+	if !ok {
 		return
 	}
-	// Keys equal to lo can spill into preceding pages' tails when
-	// duplicate runs cross page boundaries.
-	for pos > 0 && t.chain[pos-1].lastKey() >= lo {
-		pos--
-	}
-	for ; pos < len(t.chain); pos++ {
-		p := t.chain[pos]
+	for {
+		p := t.pageOf(cu)
 		if p.firstKey() > hi {
 			return
 		}
 		if !p.ascendPage(lo, hi, fn) {
 			return
 		}
+		nx, has := t.next(cu)
+		if !has {
+			return
+		}
+		cu = nx
 	}
 }
 
 // Ascend calls fn for every element in ascending key order, stopping early
 // if fn returns false.
 func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
-	for _, p := range t.chain {
-		if !p.ascendPage(p.firstKey(), p.lastKey(), fn) {
-			return
+	for _, c := range t.chunks {
+		for _, p := range c.pages {
+			if !p.ascendPage(p.firstKey(), p.lastKey(), fn) {
+				return
+			}
 		}
 	}
 }
@@ -157,34 +162,44 @@ func (t *Tree[K, V]) DescendRange(hi, lo K, fn func(k K, v V) bool) {
 	if hi < lo {
 		return
 	}
-	pos := t.locate(hi)
-	if pos < 0 {
+	cu, ok := t.locateCursor(hi)
+	if !ok {
 		return
 	}
 	// The page routed for hi is the last page whose routing key <= hi,
 	// but duplicate-run chains can continue past it with the same start.
-	for pos+1 < len(t.chain) && t.chain[pos+1].start() <= hi {
-		pos++
+	for {
+		nx, has := t.next(cu)
+		if !has || t.pageOf(nx).start() > hi {
+			break
+		}
+		cu = nx
 	}
-	for ; pos >= 0; pos-- {
-		p := t.chain[pos]
+	for {
+		p := t.pageOf(cu)
 		if p.lastKey() < lo {
 			return
 		}
 		if !p.descendPage(lo, hi, fn) {
 			return
 		}
+		pv, has := t.prev(cu)
+		if !has {
+			return
+		}
+		cu = pv
 	}
 }
 
 // Min returns the smallest key and one of its values.
 func (t *Tree[K, V]) Min() (K, V, bool) {
-	if len(t.chain) == 0 {
+	cu, ok := t.first()
+	if !ok {
 		var zk K
 		var zv V
 		return zk, zv, false
 	}
-	p := t.chain[0]
+	p := t.pageOf(cu)
 	k := p.firstKey()
 	v, _ := t.searchPage(p, k)
 	return k, v, true
@@ -193,12 +208,13 @@ func (t *Tree[K, V]) Min() (K, V, bool) {
 // Max returns the largest key and one of its values. The chain gives the
 // last page in O(1); no router descent is needed.
 func (t *Tree[K, V]) Max() (K, V, bool) {
-	if len(t.chain) == 0 {
+	cu, ok := t.last()
+	if !ok {
 		var zk K
 		var zv V
 		return zk, zv, false
 	}
-	p := t.chain[len(t.chain)-1]
+	p := t.pageOf(cu)
 	k := p.lastKey()
 	v, _ := t.searchPage(p, k)
 	return k, v, true
@@ -209,22 +225,14 @@ func (t *Tree[K, V]) Max() (K, V, bool) {
 // search within the page. It drives the Figure 13 experiment.
 func (t *Tree[K, V]) LookupBreakdown(k K) (v V, ok bool, treeNs, pageNs int64) {
 	start := time.Now()
-	pos := t.locate(k)
+	p, found := t.locatePage(k)
 	treeNs = time.Since(start).Nanoseconds()
-	if pos < 0 {
+	if !found {
 		return v, false, treeNs, 0
 	}
 	start = time.Now()
-	for pos > 0 && t.chain[pos-1].lastKey() >= k {
-		pos--
-	}
-	for ; pos < len(t.chain); pos++ {
-		if v, ok = t.searchPage(t.chain[pos], k); ok {
-			break
-		}
-		if pos+1 == len(t.chain) || t.chain[pos+1].start() > k {
-			break
-		}
+	if v, ok = t.searchPage(p, k); !ok {
+		v, ok = t.searchFrom(t.pageCursor(p), k)
 	}
 	pageNs = time.Since(start).Nanoseconds()
 	return v, ok, treeNs, pageNs
@@ -234,6 +242,7 @@ func (t *Tree[K, V]) LookupBreakdown(k K) (v V, ok bool, treeNs, pageNs int64) {
 type Stats struct {
 	Elements  int // total stored elements, including buffered ones
 	Pages     int // number of variable-sized table pages (= segments)
+	Chunks    int // number of chain chunks the pages are grouped into
 	Buffered  int // elements currently in insert buffers
 	Deletes   int // in-place deletions pending re-segmentation
 	Inner     btree.Stats
@@ -244,15 +253,17 @@ type Stats struct {
 
 // Stats traverses the tree and returns its statistics. The IndexSize
 // accounting matches the paper's SIZE(e) cost model: the inner tree's keys
-// and pointers plus 24 bytes of metadata (start key, slope, page position)
+// and pointers plus 24 bytes of metadata (start key, slope, page address)
 // per segment.
 func (t *Tree[K, V]) Stats() Stats {
-	s := Stats{Elements: t.size}
-	for _, p := range t.chain {
-		s.Pages++
-		s.Buffered += len(p.bufKeys)
-		s.Deletes += p.deletes
-		s.DataSize += int64(len(p.keys)+len(p.bufKeys)) * 16
+	s := Stats{Elements: t.size, Chunks: len(t.chunks)}
+	for _, c := range t.chunks {
+		for _, p := range c.pages {
+			s.Pages++
+			s.Buffered += len(p.bufKeys)
+			s.Deletes += p.deletes
+			s.DataSize += int64(len(p.keys)+len(p.bufKeys)) * 16
+		}
 	}
 	s.Inner = t.idx.stats()
 	s.Height = s.Inner.Height
@@ -269,68 +280,81 @@ func (t *Tree[K, V]) CheckInvariants() error {
 	segErr := t.opts.segError()
 	count := 0
 	routed := 0
-	for pi, p := range t.chain {
-		if p.id == 0 {
-			return fmt.Errorf("fitingtree: page %v has no identity", p.start())
+	var prev *page[K, V]
+	for ci, c := range t.chunks {
+		if c.id == 0 {
+			return fmt.Errorf("fitingtree: chunk %d has no identity", ci)
 		}
-		if len(p.keys) == 0 && len(p.bufKeys) == 0 {
-			return fmt.Errorf("fitingtree: empty page at %v", p.start())
+		if len(c.pages) == 0 {
+			return fmt.Errorf("fitingtree: empty chunk at %d", ci)
 		}
-		for i := 1; i < len(p.keys); i++ {
-			if p.keys[i] < p.keys[i-1] {
-				return fmt.Errorf("fitingtree: page data out of order at %v", p.start())
+		if len(c.pages) > chunkMax {
+			return fmt.Errorf("fitingtree: chunk %d holds %d pages, max %d", ci, len(c.pages), chunkMax)
+		}
+		for pi, p := range c.pages {
+			if p.id == 0 {
+				return fmt.Errorf("fitingtree: page %v has no identity", p.start())
 			}
-		}
-		for i := 1; i < len(p.bufKeys); i++ {
-			if p.bufKeys[i] < p.bufKeys[i-1] {
-				return fmt.Errorf("fitingtree: page buffer out of order at %v", p.start())
+			if len(p.keys) == 0 && len(p.bufKeys) == 0 {
+				return fmt.Errorf("fitingtree: empty page at %v", p.start())
 			}
-		}
-		if len(p.keys) != len(p.vals) || len(p.bufKeys) != len(p.bufVals) {
-			return fmt.Errorf("fitingtree: key/value length mismatch at %v", p.start())
-		}
-		if len(p.bufKeys) > num.MaxInt(1, t.opts.BufferSize) {
-			return fmt.Errorf("fitingtree: buffer overflow (%d) at %v", len(p.bufKeys), p.start())
-		}
-		// Error bound: every data element within segErr + pending deletes
-		// of its predicted position.
-		for i := range p.keys {
-			pred := p.seg.Predict(p.keys[i])
-			dev := pred - float64(i)
-			if dev < 0 {
-				dev = -dev
+			for i := 1; i < len(p.keys); i++ {
+				if p.keys[i] < p.keys[i-1] {
+					return fmt.Errorf("fitingtree: page data out of order at %v", p.start())
+				}
 			}
-			if dev > float64(segErr+p.deletes)+1e-6 {
-				return fmt.Errorf("fitingtree: error bound violated at page %v offset %d: |%.2f| > %d",
-					p.start(), i, dev, segErr+p.deletes)
+			for i := 1; i < len(p.bufKeys); i++ {
+				if p.bufKeys[i] < p.bufKeys[i-1] {
+					return fmt.Errorf("fitingtree: page buffer out of order at %v", p.start())
+				}
 			}
+			if len(p.keys) != len(p.vals) || len(p.bufKeys) != len(p.bufVals) {
+				return fmt.Errorf("fitingtree: key/value length mismatch at %v", p.start())
+			}
+			if len(p.bufKeys) > num.MaxInt(1, t.opts.BufferSize) {
+				return fmt.Errorf("fitingtree: buffer overflow (%d) at %v", len(p.bufKeys), p.start())
+			}
+			// Error bound: every data element within segErr + pending
+			// deletes of its predicted position.
+			for i := range p.keys {
+				pred := p.seg.Predict(p.keys[i])
+				dev := pred - float64(i)
+				if dev < 0 {
+					dev = -dev
+				}
+				if dev > float64(segErr+p.deletes)+1e-6 {
+					return fmt.Errorf("fitingtree: error bound violated at page %v offset %d: |%.2f| > %d",
+						p.start(), i, dev, segErr+p.deletes)
+				}
+			}
+			// Chain order and routing.
+			if prev != nil {
+				if p.start() < prev.start() {
+					return fmt.Errorf("fitingtree: page starts out of order: %v after %v", p.start(), prev.start())
+				}
+				if prev.lastKey() > p.firstKey() {
+					return fmt.Errorf("fitingtree: overlapping pages around %v", p.start())
+				}
+				// Stronger separation: a page's content never passes the
+				// next page's routing key (equality is the duplicate-run
+				// spill). MergeCOW relies on this to bound a dirty region's
+				// content by the start key of the first untouched page
+				// after it.
+				if prev.lastKey() > p.start() {
+					return fmt.Errorf("fitingtree: page before %v holds keys past that start", p.start())
+				}
+			}
+			if prev == nil || prev.start() != p.start() {
+				routed++
+				got, ok := t.idx.get(p.start())
+				if !ok || got != p {
+					return fmt.Errorf("fitingtree: router misroutes page %v (chunk %d, index %d)",
+						p.start(), ci, pi)
+				}
+			}
+			count += len(p.keys) + len(p.bufKeys)
+			prev = p
 		}
-		// Chain order and routing.
-		if pi > 0 {
-			prev := t.chain[pi-1]
-			if p.start() < prev.start() {
-				return fmt.Errorf("fitingtree: page starts out of order: %v after %v", p.start(), prev.start())
-			}
-			if prev.lastKey() > p.firstKey() {
-				return fmt.Errorf("fitingtree: overlapping pages around %v", p.start())
-			}
-			// Stronger separation: a page's content never passes the next
-			// page's routing key (equality is the duplicate-run spill).
-			// MergeCOW relies on this to bound a dirty region's content by
-			// the start key of the first untouched page after it.
-			if prev.lastKey() > p.start() {
-				return fmt.Errorf("fitingtree: page before %v holds keys past that start", p.start())
-			}
-		}
-		if t.routed(pi) {
-			routed++
-			got, ok := t.idx.get(p.start())
-			if !ok || got != pi {
-				return fmt.Errorf("fitingtree: router misroutes page %v: got %d,%v want %d",
-					p.start(), got, ok, pi)
-			}
-		}
-		count += len(p.keys) + len(p.bufKeys)
 	}
 	if count != t.size {
 		return fmt.Errorf("fitingtree: size %d but %d elements found", t.size, count)

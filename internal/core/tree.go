@@ -5,7 +5,7 @@
 // sorted column with piece-wise linear segments whose maximal interpolation
 // error is bounded by a tunable threshold E (Section 2). Each segment's
 // data lives in a variable-sized table page; the segments' starting keys,
-// slopes, and page positions are organized in a B+ tree (Figure 2). A point
+// slopes, and page locations are organized in a B+ tree (Figure 2). A point
 // lookup walks the inner tree to the owning page, interpolates the key's
 // position, and binary-searches only the 2E+1 window around the prediction
 // (Section 4). Inserts go to a fixed-size sorted buffer attached to each
@@ -15,14 +15,19 @@
 // buffer, the segmentation error is transparently reduced to
 // E - buffer capacity.
 //
-// The leaf level is a position-indexed page chain: a flat slice of page
-// references in global key order that the router maps into (start key ->
-// chain position). Pages carry no links, so a page is a pure value that can
-// be shared structurally between trees — MergeCOW exploits that to publish
-// a new tree that clones only the pages a batch of writes touches and
-// shares every other page with its parent, the page-granular copy-on-write
-// flush behind the Optimistic facade. Navigation that previously followed
-// next/prev pointers is position arithmetic on the chain.
+// The leaf level is a chunked page chain: pages in global key order are
+// grouped into immutable chunks of at most chunkMax pages, and the router
+// maps a segment's start key to its page's stable address (chunk pointer,
+// index within the chunk). Pages carry no links, chunks never mutate their
+// page spine once another tree can reach them, and the router itself is a
+// persistently cloneable structure — so MergeCOW publishes a new tree that
+// shares, by reference, every untouched page, every untouched chunk, and
+// (with the B+ tree router) every untouched router node with its parent.
+// Because a page's address names its chunk rather than a global position,
+// a splice that changes the page count renumbers nothing outside the
+// chunks it rebuilds: there is no router suffix to shift. Navigation that
+// previously walked a flat slice is cursor arithmetic over (chunk, page)
+// pairs.
 //
 // Duplicate keys are fully supported (a requirement for non-clustered
 // indexes): consecutive pages may share a starting key, in which case only
@@ -130,12 +135,13 @@ func (o Options) withDefaults() (Options, error) {
 // room for the insert buffer (Section 5).
 func (o Options) segError() int { return o.Error - o.BufferSize }
 
-// pageSeq issues process-unique page identities (see page.id).
+// pageSeq issues process-unique page and chunk identities (see page.id and
+// chunk.id).
 var pageSeq atomic.Uint64
 
 // page is one variable-sized table page: the data of one segment plus its
 // insert buffer. Pages carry no chain links — their position is a property
-// of the tree's chain slice, not of the page — so a page is a value that
+// of the chunk holding them, not of the page — so a page is a value that
 // can appear in several trees at once. A page reachable from more than one
 // tree (published by MergeCOW) must never be mutated.
 type page[K num.Key, V any] struct {
@@ -158,6 +164,62 @@ func newPage[K num.Key, V any](seg segment.Segment[K], keys []K, vals []V) *page
 // key in the inner tree).
 func (p *page[K, V]) start() K { return p.seg.Start }
 
+// chunkTarget is the page count freshly cut chunks aim for, and chunkMax
+// the in-place growth bound: a splice that pushes a chunk past chunkMax
+// re-cuts it into chunkTarget-sized chunks. The pair trades the top-level
+// chunk-slice copy a publication pays (total pages / chunkTarget pointer
+// moves) against the routing entries a chunk replacement refreshes (at
+// most chunkMax inserts).
+const (
+	chunkTarget = 64
+	chunkMax    = 2 * chunkTarget
+)
+
+// chunk is one span of consecutive pages of the chain. The router
+// addresses a page as (chunk pointer, index within the chunk), so a
+// chunk's page spine is stable storage: once a chunk is reachable from
+// more than one tree (published by MergeCOW) it must never be mutated —
+// flushes replace whole chunks instead. A tree that owns its chunks
+// exclusively (the plain single-writer Tree) may splice pages within a
+// chunk in place, refreshing only that chunk's routing entries.
+type chunk[K num.Key, V any] struct {
+	id    uint64 // process-unique identity, for sharing diagnostics
+	pages []*page[K, V]
+}
+
+// newChunk allocates a chunk with a fresh identity over pages.
+func newChunk[K num.Key, V any](pages []*page[K, V]) *chunk[K, V] {
+	return &chunk[K, V]{id: pageSeq.Add(1), pages: pages}
+}
+
+// start returns the chunk's first routing key. Chunks are never empty.
+func (c *chunk[K, V]) start() K { return c.pages[0].start() }
+
+// cutChunks groups pages into fresh chunks of chunkTarget pages each.
+func cutChunks[K num.Key, V any](pages []*page[K, V]) []*chunk[K, V] {
+	if len(pages) == 0 {
+		return nil
+	}
+	chunks := make([]*chunk[K, V], 0, (len(pages)+chunkTarget-1)/chunkTarget)
+	for at := 0; at < len(pages); at += chunkTarget {
+		end := num.MinInt(at+chunkTarget, len(pages))
+		chunks = append(chunks, newChunk(pages[at:end:end]))
+	}
+	return chunks
+}
+
+// cursor identifies a page during navigation: its chunk (by pointer), the
+// page's index within it, and the chunk's index in the tree's chunk
+// slice. The router itself stores no cursors — it routes straight to
+// *page, an address that stays valid across every splice that carries the
+// page — so cursors are derived on demand (see pageCursor) and only by
+// the operations that actually walk the chain.
+type cursor[K num.Key, V any] struct {
+	c  *chunk[K, V]
+	pi int // page index within c
+	ci int // index of c in Tree.chunks
+}
+
 // Counters records maintenance activity, exposed for evaluation
 // (e.g. Figure 7's split-rate discussion).
 type Counters struct {
@@ -172,10 +234,10 @@ type Counters struct {
 // Build one with BulkLoad. The zero value is not usable. Tree is not safe
 // for concurrent use; wrap it or serialize access externally.
 type Tree[K num.Key, V any] struct {
-	opts  Options
-	idx   router[K]
-	chain []*page[K, V] // pages in ascending key order; the router maps into it
-	size  int           // total elements (pages + buffers)
+	opts   Options
+	idx    router[K, V]
+	chunks []*chunk[K, V] // chunked page chain in ascending key order
+	size   int            // total elements (pages + buffers)
 
 	// Hot-path state precomputed at construction so lookups neither
 	// recompute option-derived values nor dispatch through the router
@@ -183,38 +245,63 @@ type Tree[K num.Key, V any] struct {
 	// for devirtualized floor searches.
 	segErr int            // opts.segError(), the in-page window half-width
 	strat  SearchStrategy // opts.Search
-	rbt    *btree.Tree[K, int]
-	rim    *implicitRouter[K]
+	rbt    *btree.Tree[K, *page[K, V]]
+	rim    *implicitRouter[K, V]
 
 	counters Counters
 }
 
-// initRouter installs the router selected by o, keeping both the interface
-// (for cold structural operations) and the concrete pointer (for the
-// devirtualized lookup path).
+// initRouter installs a fresh empty router of the kind selected by o,
+// keeping both the interface (for cold structural operations) and the
+// concrete pointer (for the devirtualized lookup path).
 func (t *Tree[K, V]) initRouter(o Options) {
 	if o.Router == RouterImplicit {
-		r := &implicitRouter[K]{}
+		r := &implicitRouter[K, V]{}
 		t.idx, t.rim = r, r
 		return
 	}
-	r := &btreeRouter[K]{tr: btree.New[K, int](o.Fanout)}
+	r := &btreeRouter[K, V]{tr: btree.New[K, *page[K, V]](o.Fanout)}
 	t.idx, t.rbt = r, r.tr
 }
 
-// routedEntries derives the router's content from a chain: one entry per
-// run of equal start keys, keyed by the run's start and valued with the
-// run's first position.
-func routedEntries[K num.Key, V any](chain []*page[K, V]) ([]K, []int) {
+// adoptRouter installs a persistent clone of src's router: the B+ tree
+// router shares every node with src until a mutation copies its descent
+// path (btree.CloneCOW); the implicit router copies its flat arrays, the
+// documented O(segments) cost of the read-optimized variant. src is only
+// read, so adopting is safe while other goroutines read src.
+func (t *Tree[K, V]) adoptRouter(src *Tree[K, V]) {
+	if src.rim != nil {
+		r := src.rim.clone()
+		t.idx, t.rim = r, r
+		return
+	}
+	tr := src.rbt.CloneCOW()
+	t.idx, t.rbt = &btreeRouter[K, V]{tr: tr}, tr
+}
+
+// routedEntries derives the router's content from a chunked chain: one
+// entry per run of equal start keys, keyed by the run's start and valued
+// with the run's first page.
+func routedEntries[K num.Key, V any](chunks []*chunk[K, V]) ([]K, []*page[K, V]) {
 	var keys []K
-	var pos []int
-	for i, p := range chain {
-		if i == 0 || chain[i-1].start() != p.start() {
-			keys = append(keys, p.start())
-			pos = append(pos, i)
+	var pages []*page[K, V]
+	var prev *page[K, V]
+	for _, c := range chunks {
+		for _, p := range c.pages {
+			if prev == nil || prev.start() != p.start() {
+				keys = append(keys, p.start())
+				pages = append(pages, p)
+			}
+			prev = p
 		}
 	}
-	return keys, pos
+	return keys, pages
+}
+
+// loadRouter bulk-loads the router from the tree's chunks.
+func (t *Tree[K, V]) loadRouter(fill float64) error {
+	rk, rl := routedEntries(t.chunks)
+	return t.idx.bulkLoad(rk, rl, fill)
 }
 
 // BulkLoad builds a FITing-Tree over sorted keys (duplicates allowed) and
@@ -250,18 +337,18 @@ func BulkLoad[K num.Key, V any](keys []K, vals []V, opts Options) (*Tree[K, V], 
 	}
 
 	segs := segment.ShrinkingCone(keys, o.segError())
-	t.chain = make([]*page[K, V], len(segs))
+	pages := make([]*page[K, V], len(segs))
 	for i, s := range segs {
-		t.chain[i] = newPage(
+		pages[i] = newPage(
 			segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
 			append([]K(nil), keys[s.StartPos:s.EndPos()]...),
 			append([]V(nil), vals[s.StartPos:s.EndPos()]...),
 		)
 	}
+	t.chunks = cutChunks(pages)
 	// Only the first page of a run of equal start keys goes in the inner
 	// tree; lookups reach the rest via the chain.
-	rk, rp := routedEntries(t.chain)
-	if err := t.idx.bulkLoad(rk, rp, o.FillFactor); err != nil {
+	if err := t.loadRouter(o.FillFactor); err != nil {
 		return nil, fmt.Errorf("fitingtree: inner tree: %w", err)
 	}
 	return t, nil
@@ -281,40 +368,161 @@ func (t *Tree[K, V]) Counters() Counters { return t.counters }
 // and diagnostics use this to verify structural sharing without reaching
 // into the chain.
 func (t *Tree[K, V]) PageIDs() []uint64 {
-	ids := make([]uint64, len(t.chain))
-	for i, p := range t.chain {
-		ids[i] = p.id
+	var ids []uint64
+	for _, c := range t.chunks {
+		for _, p := range c.pages {
+			ids = append(ids, p.id)
+		}
 	}
 	return ids
 }
 
-// routed reports whether the page at pos carries its own routing entry:
-// only the first page of a run of equal start keys is registered in the
-// router; the rest are reached by walking the chain.
-func (t *Tree[K, V]) routed(pos int) bool {
-	return pos == 0 || t.chain[pos-1].start() != t.chain[pos].start()
+// ChunkIDs returns the identity of every chain chunk in order. Like
+// PageIDs it is a sharing diagnostic: MergeCOW re-cuts only the chunks a
+// batch dirties, so ids outside the dirty intervals must survive into the
+// published tree.
+func (t *Tree[K, V]) ChunkIDs() []uint64 {
+	ids := make([]uint64, len(t.chunks))
+	for i, c := range t.chunks {
+		ids[i] = c.id
+	}
+	return ids
 }
 
-// locate returns the chain position of the page whose range contains k:
-// the router's floor position, or 0 when k precedes every routing key.
-// Returns -1 only for an empty tree. The router call is devirtualized: the
-// concrete floor search is reached directly rather than through the router
-// interface, which would block inlining on the hottest call of a lookup.
-func (t *Tree[K, V]) locate(k K) int {
-	if len(t.chain) == 0 {
-		return -1
+// pageOf returns the page the cursor addresses.
+func (t *Tree[K, V]) pageOf(cu cursor[K, V]) *page[K, V] { return cu.c.pages[cu.pi] }
+
+// pageCursor finds the cursor of a page the router handed out. Chunk and
+// page start keys ascend, so two binary searches narrow to the page's
+// equal-start run; the residual pointer scan only exceeds one step inside
+// long duplicate runs. Point lookups that hit the routed page itself never
+// call this — only chain walks (duplicate spill, run traversal, splices)
+// pay for coordinates.
+func (t *Tree[K, V]) pageCursor(p *page[K, V]) cursor[K, V] {
+	s := p.start()
+	// Last chunk whose start key is <= s.
+	lo, hi := 0, len(t.chunks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.chunks[mid].start() <= s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	var pos int
+	for ci := lo - 1; ci >= 0; ci-- {
+		c := t.chunks[ci]
+		// Leftmost page with start >= s in this chunk, then scan the
+		// equal-start run for identity.
+		plo, phi := 0, len(c.pages)
+		for plo < phi {
+			mid := int(uint(plo+phi) >> 1)
+			if c.pages[mid].start() < s {
+				plo = mid + 1
+			} else {
+				phi = mid
+			}
+		}
+		for pi := plo; pi < len(c.pages) && c.pages[pi].start() == s; pi++ {
+			if c.pages[pi] == p {
+				return cursor[K, V]{c: c, pi: pi, ci: ci}
+			}
+		}
+		if c.start() != s {
+			// The run begins inside this chunk, so it cannot extend into
+			// an earlier one.
+			break
+		}
+	}
+	panic("fitingtree: page not in chain")
+}
+
+// next returns the cursor one page forward in chain order.
+func (t *Tree[K, V]) next(cu cursor[K, V]) (cursor[K, V], bool) {
+	if cu.pi+1 < len(cu.c.pages) {
+		cu.pi++
+		return cu, true
+	}
+	if cu.ci+1 >= len(t.chunks) {
+		return cu, false
+	}
+	c := t.chunks[cu.ci+1]
+	return cursor[K, V]{c: c, pi: 0, ci: cu.ci + 1}, true
+}
+
+// prev returns the cursor one page backward in chain order.
+func (t *Tree[K, V]) prev(cu cursor[K, V]) (cursor[K, V], bool) {
+	if cu.pi > 0 {
+		cu.pi--
+		return cu, true
+	}
+	if cu.ci == 0 {
+		return cu, false
+	}
+	c := t.chunks[cu.ci-1]
+	return cursor[K, V]{c: c, pi: len(c.pages) - 1, ci: cu.ci - 1}, true
+}
+
+// first returns the cursor of the chain's first page; ok is false for an
+// empty tree.
+func (t *Tree[K, V]) first() (cursor[K, V], bool) {
+	if len(t.chunks) == 0 {
+		return cursor[K, V]{}, false
+	}
+	return cursor[K, V]{c: t.chunks[0], pi: 0, ci: 0}, true
+}
+
+// last returns the cursor of the chain's last page; ok is false for an
+// empty tree.
+func (t *Tree[K, V]) last() (cursor[K, V], bool) {
+	if len(t.chunks) == 0 {
+		return cursor[K, V]{}, false
+	}
+	ci := len(t.chunks) - 1
+	c := t.chunks[ci]
+	return cursor[K, V]{c: c, pi: len(c.pages) - 1, ci: ci}, true
+}
+
+// isRouted reports whether the page at cu carries its own routing entry:
+// only the first page of a run of equal start keys is registered in the
+// router; the rest are reached by walking the chain.
+func (t *Tree[K, V]) isRouted(cu cursor[K, V]) bool {
+	p, ok := t.prev(cu)
+	return !ok || t.pageOf(p).start() != t.pageOf(cu).start()
+}
+
+// locatePage returns the page whose range contains k: the router's floor
+// entry, or the chain's first page when k precedes every routing key. ok
+// is false only for an empty tree. The router call is devirtualized: the
+// concrete floor search is reached directly rather than through the
+// router interface, which would block inlining on the hottest call of a
+// lookup. No chain coordinates are computed — the common point lookup
+// searches the returned page and never needs any.
+func (t *Tree[K, V]) locatePage(k K) (*page[K, V], bool) {
+	if len(t.chunks) == 0 {
+		return nil, false
+	}
+	var p *page[K, V]
 	var ok bool
 	if t.rim != nil {
-		pos, ok = t.rim.floor(k)
+		p, ok = t.rim.floor(k)
 	} else {
-		_, pos, ok = t.rbt.Floor(k)
+		_, p, ok = t.rbt.Floor(k)
 	}
 	if !ok {
-		return 0
+		return t.chunks[0].pages[0], true
 	}
-	return pos
+	return p, true
+}
+
+// locateCursor is locatePage with chain coordinates attached, for the
+// operations that walk the chain from the routed page.
+func (t *Tree[K, V]) locateCursor(k K) (cursor[K, V], bool) {
+	p, ok := t.locatePage(k)
+	if !ok {
+		return cursor[K, V]{}, false
+	}
+	return t.pageCursor(p), true
 }
 
 // searchPage looks for k inside a single page (segment data window plus
@@ -330,36 +538,46 @@ func (t *Tree[K, V]) searchPage(p *page[K, V], k K) (V, bool) {
 	return zero, false
 }
 
-// firstCandidate returns the position of the earliest page that could
+// firstCandidate returns the cursor of the earliest page that could
 // contain k. Usually that is the router's floor page, but duplicate runs
 // can spill keys equal to k into the tails of preceding pages, and
 // deletions can leave a key only in an earlier page of the run.
-func (t *Tree[K, V]) firstCandidate(k K) int {
-	i := t.locate(k)
-	if i < 0 {
-		return -1
+func (t *Tree[K, V]) firstCandidate(k K) (cursor[K, V], bool) {
+	cu, ok := t.locateCursor(k)
+	if !ok {
+		return cu, false
 	}
-	for i > 0 && t.chain[i-1].lastKey() >= k {
-		i--
+	return t.backUp(cu, k), true
+}
+
+// backUp rewinds cu over the preceding pages whose content reaches k
+// (duplicate spill).
+func (t *Tree[K, V]) backUp(cu cursor[K, V], k K) cursor[K, V] {
+	for {
+		p, ok := t.prev(cu)
+		if !ok || t.pageOf(p).lastKey() < k {
+			return cu
+		}
+		cu = p
 	}
-	return i
 }
 
 // Lookup returns a value stored under k. When k has duplicates, an
 // arbitrary match is returned; use Each for all of them.
 func (t *Tree[K, V]) Lookup(k K) (V, bool) {
-	for i := t.firstCandidate(k); i >= 0 && i < len(t.chain); i++ {
-		if v, ok := t.searchPage(t.chain[i], k); ok {
-			return v, true
-		}
-		// A run of equal start keys can span pages; keep walking while the
-		// next page could still contain k.
-		if i+1 == len(t.chain) || t.chain[i+1].start() > k {
-			break
-		}
+	p, ok := t.locatePage(k)
+	if !ok {
+		var zero V
+		return zero, false
 	}
-	var zero V
-	return zero, false
+	// Fast path: the routed page holds a match; no chain coordinates are
+	// ever derived.
+	if v, found := t.searchPage(p, k); found {
+		return v, true
+	}
+	// Miss on the routed page: the key may sit in a preceding page
+	// (duplicate spill, deletions) or a later page of an equal-start run.
+	return t.searchFrom(t.pageCursor(p), k)
 }
 
 // Contains reports whether k is present.
@@ -372,13 +590,19 @@ func (t *Tree[K, V]) Contains(k K) bool {
 // fn returns false. Values in page data are visited before buffered values
 // of the same page.
 func (t *Tree[K, V]) Each(k K, fn func(v V) bool) {
-	for i := t.firstCandidate(k); i >= 0 && i < len(t.chain); i++ {
-		if !t.chain[i].eachMatch(k, t.segErr, t.strat, fn) {
+	cu, ok := t.firstCandidate(k)
+	if !ok {
+		return
+	}
+	for {
+		if !t.pageOf(cu).eachMatch(k, t.segErr, t.strat, fn) {
 			return
 		}
-		if i+1 == len(t.chain) || t.chain[i+1].start() > k {
+		nx, has := t.next(cu)
+		if !has || t.pageOf(nx).start() > k {
 			return
 		}
+		cu = nx
 	}
 }
 

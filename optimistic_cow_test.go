@@ -31,6 +31,10 @@ func TestOptimisticFlushSharesPages(t *testing.T) {
 	for _, id := range before.PageIDs() {
 		beforeIDs[id] = true
 	}
+	beforeChunks := map[uint64]bool{}
+	for _, id := range before.ChunkIDs() {
+		beforeChunks[id] = true
+	}
 
 	// Seven writes stay in the delta; the eighth trips the flush — under
 	// the async pipeline that freezes the delta and hands it to the
@@ -66,6 +70,26 @@ func TestOptimisticFlushSharesPages(t *testing.T) {
 	}
 	if shared < total-16 {
 		t.Fatalf("only %d of %d pages shared across the flush", shared, total)
+	}
+	// Chain chunks share the same way: the narrow dirty interval re-cuts
+	// at most its boundary chunks, every other chunk survives by identity.
+	chunkTotal, chunkShared, chunkFresh := 0, 0, 0
+	for _, id := range after.ChunkIDs() {
+		chunkTotal++
+		if beforeChunks[id] {
+			chunkShared++
+		} else {
+			chunkFresh++
+		}
+	}
+	if chunkFresh == 0 {
+		t.Fatal("no chunks re-cut by flush")
+	}
+	if chunkFresh > 3 {
+		t.Fatalf("clustered 8-write delta re-cut %d of %d chunks", chunkFresh, chunkTotal)
+	}
+	if chunkShared < chunkTotal-3 {
+		t.Fatalf("only %d of %d chunks shared across the flush", chunkShared, chunkTotal)
 	}
 	if err := after.CheckInvariants(); err != nil {
 		t.Fatal(err)
