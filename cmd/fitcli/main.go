@@ -14,6 +14,14 @@
 //	delete <key>       delete a key
 //	stats              index statistics
 //	quit
+//
+// The durable subcommands exercise the WAL + checkpoint storage engine
+// end to end:
+//
+//	fitcli save -dir store -dataset iot -n 100000   bulk-build and persist
+//	fitcli load -dir store                          open and run the shell
+//	fitcli recover -dir store                       recover, checkpoint, report
+//	fitcli pump -dir store -start 0 -count 10000    append keys, ack each
 package main
 
 import (
@@ -22,14 +30,39 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"fitingtree"
+	"fitingtree/internal/pager"
+	"fitingtree/internal/wal"
 	"fitingtree/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		var err error
+		switch os.Args[1] {
+		case "save":
+			err = cmdSave(os.Args[2:])
+		case "load":
+			err = cmdLoad(os.Args[2:])
+		case "recover":
+			err = cmdRecover(os.Args[2:])
+		case "pump":
+			err = cmdPump(os.Args[2:])
+		default:
+			fmt.Fprintf(os.Stderr, "fitcli: unknown command %q (save, load, recover, pump)\n", os.Args[1])
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fitcli:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var (
 		dataset = flag.String("dataset", "iot", "dataset: iot, weblogs, taxi")
 		n       = flag.Int("n", 1_000_000, "dataset size")
@@ -38,16 +71,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var keys []uint64
-	switch *dataset {
-	case "iot":
-		keys = workload.IoT(*n, *seed)
-	case "weblogs":
-		keys = workload.Weblogs(*n, *seed)
-	case "taxi":
-		keys = workload.TaxiPickupTime(*n, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "fitcli: unknown dataset %q\n", *dataset)
+	keys, err := datasetKeys(*dataset, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fitcli:", err)
 		os.Exit(2)
 	}
 	vals := make([]uint64, len(keys))
@@ -64,6 +90,280 @@ func main() {
 		t.Len(), *dataset, st.Pages, st.IndexSize, st.DataSize)
 
 	runShell(t, os.Stdin, os.Stdout)
+}
+
+// datasetKeys generates one of the named paper workloads.
+func datasetKeys(dataset string, n int, seed int64) ([]uint64, error) {
+	switch dataset {
+	case "iot":
+		return workload.IoT(n, seed), nil
+	case "weblogs":
+		return workload.Weblogs(n, seed), nil
+	case "taxi":
+		return workload.TaxiPickupTime(n, seed), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", dataset)
+}
+
+// openStore opens the WAL directory and page file backing a durable store
+// rooted at dir.
+func openStore(dir string) (*wal.DirFS, *pager.FileDisk, error) {
+	fsys, err := wal.NewDirFS(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev, err := pager.OpenFileDisk(filepath.Join(dir, "pages.db"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return fsys, dev, nil
+}
+
+// cmdSave bulk-builds a dataset and persists it as a durable store: an
+// initial full checkpoint, an empty WAL.
+func cmdSave(args []string) error {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	var (
+		dir     = fs.String("dir", "", "store directory (required)")
+		dataset = fs.String("dataset", "iot", "dataset: iot, weblogs, taxi")
+		n       = fs.Int("n", 100_000, "dataset size")
+		errT    = fs.Int("error", 100, "error threshold")
+		seed    = fs.Int64("seed", 1, "workload seed")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("save: -dir is required")
+	}
+	keys, err := datasetKeys(*dataset, *n, *seed)
+	if err != nil {
+		return err
+	}
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	t, err := fitingtree.BulkLoad(keys, vals, fitingtree.Options{Error: *errT})
+	if err != nil {
+		return err
+	}
+	fsys, dev, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	d, err := fitingtree.CreateDurable(fsys, dev, t)
+	if err != nil {
+		return err
+	}
+	if err := d.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("saved %d %s keys to %s (%d pages)\n", len(keys), *dataset, *dir, dev.NumPages())
+	return nil
+}
+
+// cmdLoad opens a durable store and runs the interactive shell over it.
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("load: -dir is required")
+	}
+	fsys, dev, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	d, err := fitingtree.OpenDurable[uint64, uint64](fsys, dev, fitingtree.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("opened %s: %d elements, wal tail %d records\n", *dir, d.Len(), d.WALRecords())
+	runDurableShell(d, os.Stdin, os.Stdout)
+	return d.Close()
+}
+
+// cmdRecover opens a durable store (running checkpoint-load + WAL replay),
+// reports what recovery found, and checkpoints so the next open starts
+// from a clean, truncated log.
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("recover: -dir is required")
+	}
+	fsys, dev, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	d, err := fitingtree.OpenDurable[uint64, uint64](fsys, dev, fitingtree.Options{})
+	if err != nil {
+		return err
+	}
+	tail := d.WALRecords()
+	stats, err := d.Checkpoint()
+	if err != nil {
+		d.Close()
+		return err
+	}
+	fmt.Printf("recovered %d elements from %s (wal tail %d records)\n", d.Len(), *dir, tail)
+	fmt.Printf("checkpoint: %d chunks written, %d reused, wal now %d records\n",
+		stats.ChunksWritten, stats.ChunksReused, d.WALRecords())
+	return d.Close()
+}
+
+// cmdPump appends sequential keys to a durable store, printing an "acked"
+// line after each write is durable. A crash test kills the process
+// mid-stream and verifies every acked key survives recovery.
+func cmdPump(args []string) error {
+	fs := flag.NewFlagSet("pump", flag.ExitOnError)
+	var (
+		dir        = fs.String("dir", "", "store directory (required)")
+		start      = fs.Uint64("start", 0, "first key")
+		count      = fs.Int("count", 10_000, "number of keys to insert")
+		syncEvery  = fs.Int("sync-every", 1, "group-commit batch size")
+		flushEvery = fs.Int("flush-every", 256, "delta flush threshold")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("pump: -dir is required")
+	}
+	fsys, dev, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	d, err := fitingtree.OpenDurable[uint64, uint64](fsys, dev, fitingtree.Options{})
+	if err != nil {
+		return err
+	}
+	d.SetSyncEvery(*syncEvery)
+	d.SetFlushEvery(*flushEvery)
+	out := bufio.NewWriter(os.Stdout)
+	pending := 0
+	for i := 0; i < *count; i++ {
+		k := *start + uint64(i)
+		if err := d.Insert(k, k); err != nil {
+			return err
+		}
+		pending++
+		if pending >= *syncEvery {
+			// Insert's internal group commit has synced by now; every key
+			// inserted so far is durable and can be acknowledged.
+			if err := d.Sync(); err != nil {
+				return err
+			}
+			for j := i - pending + 1; j <= i; j++ {
+				fmt.Fprintf(out, "acked %d\n", *start+uint64(j))
+			}
+			out.Flush()
+			pending = 0
+		}
+	}
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	for j := *count - pending; j < *count; j++ {
+		fmt.Fprintf(out, "acked %d\n", *start+uint64(j))
+	}
+	out.Flush()
+	return d.Close()
+}
+
+// runDurableShell executes commands from in against the durable facade,
+// writing replies to out, until EOF or the quit command.
+func runDurableShell(d *fitingtree.Durable[uint64, uint64], in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Fprint(out, "> ")
+			continue
+		}
+		switch fields[0] {
+		case "get":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: get <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(out, "bad key:", err)
+				break
+			}
+			if v, ok := d.Lookup(k); ok {
+				fmt.Fprintf(out, "key %d -> value %d\n", k, v)
+			} else {
+				fmt.Fprintf(out, "key %d not found\n", k)
+			}
+		case "range":
+			if len(fields) != 3 {
+				fmt.Fprintln(out, "usage: range <lo> <hi>")
+				break
+			}
+			lo, err1 := strconv.ParseUint(fields[1], 10, 64)
+			hi, err2 := strconv.ParseUint(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(out, "bad bounds")
+				break
+			}
+			count := 0
+			d.AscendRange(lo, hi, func(uint64, uint64) bool { count++; return true })
+			fmt.Fprintf(out, "%d elements in [%d, %d]\n", count, lo, hi)
+		case "insert":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: insert <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(out, "bad key:", err)
+				break
+			}
+			if err := d.Insert(k, 0); err != nil {
+				fmt.Fprintln(out, "insert failed:", err)
+				break
+			}
+			fmt.Fprintln(out, "ok")
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: delete <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(out, "bad key:", err)
+				break
+			}
+			found, err := d.Delete(k)
+			if err != nil {
+				fmt.Fprintln(out, "delete failed:", err)
+				break
+			}
+			fmt.Fprintln(out, "deleted:", found)
+		case "checkpoint":
+			stats, err := d.Checkpoint()
+			if err != nil {
+				fmt.Fprintln(out, "checkpoint failed:", err)
+				break
+			}
+			fmt.Fprintf(out, "checkpoint: %d chunks written, %d reused\n",
+				stats.ChunksWritten, stats.ChunksReused)
+		case "stats":
+			st := d.Stats()
+			fmt.Fprintf(out, "elements=%d pages=%d buffered=%d height=%d index=%dB data=%dB wal=%d\n",
+				st.Elements, st.Pages, st.Buffered, st.Height, st.IndexSize, st.DataSize, d.WALRecords())
+		case "quit", "exit":
+			return
+		default:
+			fmt.Fprintln(out, "commands: get, range, insert, delete, checkpoint, stats, quit")
+		}
+		fmt.Fprint(out, "> ")
+	}
 }
 
 // runShell executes commands from in against the tree, writing replies to

@@ -92,7 +92,12 @@ func (st *ostate[K, V]) bounds() (lo, hi K, ok bool) {
 }
 
 // Decode reads a snapshot produced by Encode or EncodeOptimistic and
-// bulk-loads a tree from it.
+// bulk-loads a tree from it. The stream is treated as untrusted: the
+// header's element count and version are validated before any slice is
+// decoded, each slice's length is checked against the header as soon as it
+// arrives, and the final bulk load re-verifies key ordering and rejects
+// NaN keys — a truncated or bit-flipped snapshot yields an error, never a
+// silently corrupt tree.
 func Decode[K Key, V any](r io.Reader) (*Tree[K, V], error) {
 	dec := gob.NewDecoder(r)
 	var h snapshotHeader
@@ -102,18 +107,31 @@ func Decode[K Key, V any](r io.Reader) (*Tree[K, V], error) {
 	if h.Version != snapshotVersion {
 		return nil, fmt.Errorf("fitingtree: unsupported snapshot version %d", h.Version)
 	}
+	if h.Elements < 0 {
+		return nil, fmt.Errorf("fitingtree: snapshot header claims %d elements", h.Elements)
+	}
+	// Element counts drive downstream allocation (pages, router), so
+	// cross-check each slice against the header the moment it decodes; gob
+	// itself bounds a slice's claimed length by the message size, so a
+	// corrupt count cannot drive an outsized allocation either.
 	var keys []K
-	var vals []V
 	if err := dec.Decode(&keys); err != nil {
 		return nil, fmt.Errorf("fitingtree: decode keys: %w", err)
 	}
+	if len(keys) != h.Elements {
+		return nil, fmt.Errorf("fitingtree: snapshot holds %d keys, header says %d",
+			len(keys), h.Elements)
+	}
+	var vals []V
 	if err := dec.Decode(&vals); err != nil {
 		return nil, fmt.Errorf("fitingtree: decode values: %w", err)
 	}
-	if len(keys) != h.Elements || len(vals) != h.Elements {
-		return nil, fmt.Errorf("fitingtree: snapshot holds %d/%d elements, header says %d",
-			len(keys), len(vals), h.Elements)
+	if len(vals) != h.Elements {
+		return nil, fmt.Errorf("fitingtree: snapshot holds %d values, header says %d",
+			len(vals), h.Elements)
 	}
+	// BulkLoad re-validates the options and rejects NaN or out-of-order
+	// keys, so a stream with a corrupted body cannot reach routing.
 	t, err := BulkLoad(keys, vals, h.Options)
 	if err != nil {
 		return nil, fmt.Errorf("fitingtree: rebuild: %w", err)

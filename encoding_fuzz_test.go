@@ -1,0 +1,60 @@
+package fitingtree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the snapshot decoder. The contract
+// under fuzzing: Decode either returns an error or a structurally valid
+// tree (sorted keys, Len consistent with a full scan) — never a panic,
+// never a silently corrupt tree.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid snapshots of several shapes, plus truncations and
+	// single-byte corruptions of one of them, so the fuzzer starts at the
+	// format's interesting boundaries instead of random gob noise.
+	seed := func(keys []int, vals []int, opts Options) []byte {
+		t, err := BulkLoad(keys, vals, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(t, &buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte(nil))
+	f.Add(seed(nil, nil, Options{}))
+	f.Add(seed([]int{1}, []int{10}, Options{}))
+	base := seed([]int{1, 2, 3, 100, 200, 300}, []int{1, 2, 3, 4, 5, 6}, Options{Error: 4})
+	f.Add(base)
+	for _, cut := range []int{1, len(base) / 2, len(base) - 1} {
+		f.Add(base[:cut])
+	}
+	for _, at := range []int{0, len(base) / 3, len(base) - 2} {
+		mut := append([]byte(nil), base...)
+		mut[at] ^= 0x40
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := Decode[int, int](bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := 0
+		prev := 0
+		tree.Ascend(func(k, v int) bool {
+			if n > 0 && k < prev {
+				t.Fatalf("decoded tree out of order: %d after %d", k, prev)
+			}
+			prev = k
+			n++
+			return true
+		})
+		if n != tree.Len() {
+			t.Fatalf("decoded tree scans %d elements but Len() = %d", n, tree.Len())
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// snapAll snapshots every chunk of t.
+func snapAll(t *Tree[int, int]) []ChunkSnap[int, int] {
+	snaps := make([]ChunkSnap[int, int], t.NumChunks())
+	for i := range snaps {
+		snaps[i] = t.ChunkSnap(i)
+	}
+	return snaps
+}
+
+// jaggedKeys generates sorted keys with irregular gaps so ShrinkingCone
+// cuts many segments (a straight line would collapse into one).
+func jaggedKeys(n int) []int {
+	keys := make([]int, n)
+	seed := uint64(42)
+	k := 0
+	for i := range keys {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		if i%37 == 0 {
+			// A large jump after a flat run breaks any single cone.
+			k += 1 + int((seed>>33)%100000)
+		} else {
+			k += int(seed % 3)
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+func buildJagged(t *testing.T, n int) (*Tree[int, int], []int) {
+	t.Helper()
+	keys := jaggedKeys(n)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	tr, err := BulkLoad(keys, vals, Options{Error: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumChunks() < 2 {
+		t.Fatalf("want a multi-chunk tree, got %d chunks", tr.NumChunks())
+	}
+	return tr, keys
+}
+
+func TestSnapshotAssembleRoundTrip(t *testing.T) {
+	tr, keys := buildJagged(t, 50_000)
+	// Exercise buffered state too: insert and delete through the
+	// single-writer API before snapshotting.
+	for i := 0; i < 500; i++ {
+		tr.Insert(keys[i*7]+1, -i)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Delete(keys[i*11])
+	}
+	re, err := AssembleChunks(snapAll(tr), tr.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", re.Len(), tr.Len())
+	}
+	for _, k := range keys {
+		want, wantOK := tr.Lookup(k)
+		got, gotOK := re.Lookup(k)
+		if wantOK != gotOK || want != got {
+			t.Fatalf("key %d: got %v,%v want %v,%v", k, got, gotOK, want, wantOK)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		want, wantOK := tr.Lookup(keys[i*7] + 1)
+		got, gotOK := re.Lookup(keys[i*7] + 1)
+		if wantOK != gotOK || want != got {
+			t.Fatalf("inserted key %d: got %v,%v want %v,%v", keys[i*7]+1, got, gotOK, want, wantOK)
+		}
+	}
+}
+
+func TestSnapshotGobRoundTrip(t *testing.T) {
+	tr, keys := buildJagged(t, 10_000)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapAll(tr)); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []ChunkSnap[int, int]
+	if err := gob.NewDecoder(&buf).Decode(&snaps); err != nil {
+		t.Fatal(err)
+	}
+	re, err := AssembleChunks(snaps, tr.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := re.Lookup(keys[999]); !ok || v != 999 {
+		t.Fatalf("lookup after gob round trip: %v %v", v, ok)
+	}
+}
+
+func TestAssembleRejectsCorruptSnapshots(t *testing.T) {
+	tr, _ := buildJagged(t, 20_000)
+	opts := tr.Options()
+	cases := map[string]func([]ChunkSnap[int, int]) []ChunkSnap[int, int]{
+		"empty chunk": func(s []ChunkSnap[int, int]) []ChunkSnap[int, int] {
+			s[0].Pages = nil
+			return s
+		},
+		"length mismatch": func(s []ChunkSnap[int, int]) []ChunkSnap[int, int] {
+			s[0].Pages[0].Vals = s[0].Pages[0].Vals[:1]
+			return s
+		},
+		"unsorted keys": func(s []ChunkSnap[int, int]) []ChunkSnap[int, int] {
+			p := &s[0].Pages[0]
+			p.Keys = append([]int(nil), p.Keys...)
+			p.Keys[0], p.Keys[1] = p.Keys[1], p.Keys[0]
+			return s
+		},
+		"unsorted starts": func(s []ChunkSnap[int, int]) []ChunkSnap[int, int] {
+			s[0].Pages[0], s[0].Pages[1] = s[0].Pages[1], s[0].Pages[0]
+			return s
+		},
+		"negative deletes": func(s []ChunkSnap[int, int]) []ChunkSnap[int, int] {
+			s[0].Pages[0].Deletes = -1
+			return s
+		},
+	}
+	for name, corrupt := range cases {
+		snaps := corrupt(snapAll(tr))
+		if _, err := AssembleChunks(snaps, opts); err == nil {
+			t.Errorf("%s: corrupted checkpoint assembled without error", name)
+		}
+	}
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	re, err := AssembleChunks[int, int](nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 0 {
+		t.Fatalf("empty assembly has %d elements", re.Len())
+	}
+	if _, ok := re.Lookup(1); ok {
+		t.Fatal("empty assembly claims a key")
+	}
+}

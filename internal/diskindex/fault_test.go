@@ -1,0 +1,94 @@
+package diskindex
+
+import (
+	"errors"
+	"testing"
+
+	"fitingtree/internal/pager"
+)
+
+// faultColumn builds a column over a fault-injecting device with a pool
+// small enough that lookups must hit the device.
+func faultColumn(t *testing.T, n int) (*Column, *pager.FaultDevice, []uint64) {
+	t.Helper()
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 7
+	}
+	dev := pager.NewFaultDevice(pager.NewDisk())
+	pool := pager.NewPool(dev, 2)
+	col, err := StoreColumn(pool, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, dev, keys
+}
+
+// TestLookupSurfacesReadErrors injects a read fault and checks every
+// competitor propagates it as an error instead of fabricating a result.
+func TestLookupSurfacesReadErrors(t *testing.T) {
+	col, dev, keys := faultColumn(t, 20_000)
+	fit, err := NewFITing(col, 32, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparse(col, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := NewBinSearch(col)
+
+	lookups := map[string]func(uint64) (bool, error){
+		"fiting": fit.Lookup,
+		"sparse": sparse.Lookup,
+		"bin":    bin.Lookup,
+	}
+	for name, lookup := range lookups {
+		// Healthy lookups at two distant positions first, so the pool's two
+		// frames hold unrelated pages and the probed key forces a device
+		// read.
+		if ok, err := lookup(keys[len(keys)/2]); err != nil || !ok {
+			t.Fatalf("%s healthy lookup: %v %v", name, ok, err)
+		}
+		if ok, err := lookup(keys[len(keys)-1]); err != nil || !ok {
+			t.Fatalf("%s healthy lookup: %v %v", name, ok, err)
+		}
+		dev.SetReadTrip(0)
+		if _, err := lookup(keys[3]); !errors.Is(err, pager.ErrInjected) {
+			t.Fatalf("%s lookup under read fault returned %v, want ErrInjected", name, err)
+		}
+		// Disarm: -1 means no trip; lookups must work again (the pool did
+		// not cache the failed read).
+		dev.SetReadTrip(-1)
+		if ok, err := lookup(keys[3]); err != nil || !ok {
+			t.Fatalf("%s lookup after disarm: %v %v", name, ok, err)
+		}
+	}
+}
+
+// TestReadFaultDoesNotPoisonPool checks a failed miss leaves no corrupt
+// frame behind: the same page reads correctly once the fault clears.
+func TestReadFaultDoesNotPoisonPool(t *testing.T) {
+	col, dev, keys := faultColumn(t, 20_000)
+	bin := NewBinSearch(col)
+	for probe := 0; probe < 8; probe++ {
+		dev.SetReadTrip(probe)
+		_, err := bin.Lookup(keys[len(keys)-1])
+		dev.SetReadTrip(-1)
+		if err == nil {
+			// The trip landed past this lookup's read count; the result
+			// must then be correct.
+			continue
+		}
+		if !errors.Is(err, pager.ErrInjected) {
+			t.Fatalf("probe %d: unexpected error %v", probe, err)
+		}
+		if ok, err := bin.Lookup(keys[len(keys)-1]); err != nil || !ok {
+			t.Fatalf("probe %d: lookup after fault cleared: %v %v", probe, ok, err)
+		}
+	}
+	// Absent keys still report absent, never a fabricated hit.
+	if ok, err := bin.Lookup(3); err != nil || ok {
+		t.Fatalf("absent key: %v %v", ok, err)
+	}
+}

@@ -59,7 +59,7 @@ func (t *Table) Append(rec []byte) (RID, error) {
 	}
 	slot := t.count % t.perPage
 	if slot == 0 {
-		t.pages = append(t.pages, t.pool.Disk().Allocate())
+		t.pages = append(t.pages, t.pool.Device().Allocate())
 	}
 	pid := t.pages[len(t.pages)-1]
 	f, err := t.pool.Get(pid)

@@ -72,6 +72,17 @@ func (d *Disk) Write(id PageID, buf []byte) error {
 	return nil
 }
 
+// PageView returns a read-only view of page id without copying, counting
+// one read. Callers must not write through or retain the slice past the
+// next Write to the page. Implements the optional PageViewer fast path.
+func (d *Disk) PageView(id PageID) ([]byte, error) {
+	if int(id) >= len(d.pages) {
+		return nil, fmt.Errorf("pager: read of unallocated page %d", id)
+	}
+	d.reads++
+	return d.pages[id], nil
+}
+
 // Reads returns the number of page reads served by the disk.
 func (d *Disk) Reads() int64 { return d.reads }
 
@@ -96,10 +107,10 @@ type PoolStats struct {
 	Writebacks int64 // dirty evictions written to disk
 }
 
-// Pool is an LRU buffer pool over a Disk. It is not safe for concurrent
-// use.
+// Pool is an LRU buffer pool over a Device. It is not safe for
+// concurrent use.
 type Pool struct {
-	disk   *Disk
+	dev    Device
 	frames []frame
 	free   []int          // frames holding no page
 	lookup map[PageID]int // page id -> frame index
@@ -109,12 +120,12 @@ type Pool struct {
 }
 
 // NewPool creates a pool with the given number of frames (>= 1).
-func NewPool(d *Disk, frames int) *Pool {
+func NewPool(d Device, frames int) *Pool {
 	if frames < 1 {
 		frames = 1
 	}
 	p := &Pool{
-		disk:   d,
+		dev:    d,
 		frames: make([]frame, frames),
 		lookup: make(map[PageID]int, frames),
 		head:   -1,
@@ -174,7 +185,7 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 		return nil, err
 	}
 	f := &p.frames[i]
-	if err := p.disk.Read(id, f.data); err != nil {
+	if err := p.dev.Read(id, f.data); err != nil {
 		// Put the frame back in circulation before reporting.
 		p.free = append(p.free, i)
 		return nil, err
@@ -201,7 +212,7 @@ func (p *Pool) victim() (int, error) {
 	p.lruRemove(i)
 	f := &p.frames[i]
 	if f.dirty {
-		if err := p.disk.Write(f.id, f.data); err != nil {
+		if err := p.dev.Write(f.id, f.data); err != nil {
 			return 0, err
 		}
 		p.stats.Writebacks++
@@ -218,7 +229,7 @@ func (p *Pool) FlushAll() error {
 	for i := range p.frames {
 		f := &p.frames[i]
 		if f.id != invalidPage && f.dirty {
-			if err := p.disk.Write(f.id, f.data); err != nil {
+			if err := p.dev.Write(f.id, f.data); err != nil {
 				return err
 			}
 			f.dirty = false
@@ -237,8 +248,9 @@ func (p *Pool) ResetStats() { p.stats = PoolStats{} }
 // Frames returns the pool capacity.
 func (p *Pool) Frames() int { return len(p.frames) }
 
-// Disk returns the underlying disk (for allocation and raw counters).
-func (p *Pool) Disk() *Disk { return p.disk }
+// Device returns the underlying device (for allocation and raw
+// counters).
+func (p *Pool) Device() Device { return p.dev }
 
 // Frame is a pinned page handle.
 type Frame struct {

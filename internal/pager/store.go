@@ -1,0 +1,337 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// This file implements the checkpoint side of the durability protocol: a
+// blob store that spreads variable-length byte blobs over chains of
+// checksummed pages, plus a dual-superblock commit record. The layout is
+// crash-safe by construction:
+//
+//   - Blobs are written shadow-paged: a new checkpoint writes its blobs
+//     into fresh (or long-free) pages, never overwriting pages the
+//     previous checkpoint still references, so a crash mid-checkpoint
+//     leaves the previous checkpoint fully intact.
+//   - The superblock alternates between pages 0 and 1 by epoch parity.
+//     Committing a checkpoint is a single page write (magic + CRC +
+//     epoch) followed by a sync; a torn superblock write fails its CRC
+//     and recovery falls back to the other, older superblock.
+//   - Pages released by checkpoint N (the blobs N replaced) become
+//     reusable only after N has committed, so the previous checkpoint's
+//     pages are never scribbled while it is still the recovery target.
+//
+// Every blob page carries a CRC-32C over its header and payload, so a
+// corrupted or stale page is detected at read time instead of being
+// decoded into garbage.
+
+// NilPage terminates a blob chain.
+const NilPage = ^PageID(0)
+
+// blobHeader is the per-page overhead: u32 CRC | u32 next | u32 length.
+const blobHeader = 12
+
+// BlobPayload is the usable bytes per blob page.
+const BlobPayload = PageSize - blobHeader
+
+// superMagic marks a valid superblock ("FITD").
+const superMagic = 0x46495444
+
+// storeCRC is the Castagnoli table shared by blob pages and superblocks.
+var storeCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Super is the checkpoint commit record.
+type Super struct {
+	// Epoch increments with every committed checkpoint; the superblock
+	// with the higher epoch (of the two slots) is current.
+	Epoch uint64
+	// Manifest is the head page of the checkpoint manifest blob.
+	Manifest PageID
+	// ReplayFrom is the first WAL LSN not folded into this checkpoint:
+	// recovery replays records with LSN >= ReplayFrom.
+	ReplayFrom uint64
+}
+
+// WriteSuper commits s into the superblock slot for its epoch parity and
+// syncs the device. The previous superblock (other slot) is untouched, so
+// a torn write here is recoverable.
+func WriteSuper(dev Device, s Super) error {
+	for dev.NumPages() < 2 {
+		dev.Allocate()
+	}
+	buf := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(buf[0:], superMagic)
+	binary.LittleEndian.PutUint64(buf[8:], s.Epoch)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(s.Manifest))
+	binary.LittleEndian.PutUint64(buf[24:], s.ReplayFrom)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[8:32], storeCRC))
+	if err := dev.Write(PageID(s.Epoch%2), buf); err != nil {
+		return err
+	}
+	return dev.Sync()
+}
+
+// ReadSuper returns the newest valid superblock. ok is false when neither
+// slot holds one (an empty or never-committed device, or both slots
+// corrupt — in every case there is no checkpoint to load).
+func ReadSuper(dev Device) (s Super, ok bool, err error) {
+	if dev.NumPages() < 2 {
+		return Super{}, false, nil
+	}
+	buf := make([]byte, PageSize)
+	for slot := PageID(0); slot < 2; slot++ {
+		if rerr := dev.Read(slot, buf); rerr != nil {
+			return Super{}, false, rerr
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != superMagic {
+			continue
+		}
+		if binary.LittleEndian.Uint32(buf[4:]) != crc32.Checksum(buf[8:32], storeCRC) {
+			continue
+		}
+		cand := Super{
+			Epoch:      binary.LittleEndian.Uint64(buf[8:]),
+			Manifest:   PageID(binary.LittleEndian.Uint32(buf[16:])),
+			ReplayFrom: binary.LittleEndian.Uint64(buf[24:]),
+		}
+		if !ok || cand.Epoch > s.Epoch {
+			s, ok = cand, true
+		}
+	}
+	return s, ok, nil
+}
+
+// Store writes and reads blobs over a Device, shadow-paged as described
+// above. It is not safe for concurrent use; the checkpointer serializes
+// access.
+type Store struct {
+	dev     Device
+	free    []PageID // reusable now
+	pending []PageID // freed by the in-flight checkpoint; reusable after Commit
+	scratch []byte   // page buffer reused by chain walks (Store is single-threaded)
+}
+
+// NewStore returns a blob store over dev, reserving the superblock pages.
+// Its freelist starts empty; after recovery, call SetFree with the pages
+// not reachable from the live checkpoint.
+func NewStore(dev Device) *Store {
+	for dev.NumPages() < 2 {
+		dev.Allocate()
+	}
+	return &Store{dev: dev}
+}
+
+// Device returns the underlying device (for superblock I/O and counters).
+func (s *Store) Device() Device { return s.dev }
+
+// SetFree replaces the freelist, typically with the allocated-minus-
+// reachable set computed during recovery.
+func (s *Store) SetFree(ids []PageID) {
+	s.free = append(s.free[:0], ids...)
+	s.pending = s.pending[:0]
+}
+
+// FreePages returns the number of immediately reusable pages.
+func (s *Store) FreePages() int { return len(s.free) }
+
+// PageViewer is the optional zero-copy read path: an in-memory device can
+// hand out a view of a page instead of copying it into the caller's
+// buffer. The view is only valid until the page is next written.
+type PageViewer interface {
+	PageView(id PageID) ([]byte, error)
+}
+
+// page returns the reusable scratch page buffer, allocating it on first
+// use. Recovery walks thousands of short chains; sharing one buffer keeps
+// those walks allocation-free.
+func (s *Store) page() []byte {
+	if s.scratch == nil {
+		s.scratch = make([]byte, PageSize)
+	}
+	return s.scratch
+}
+
+// readPage reads page id through the device's zero-copy view when it has
+// one, falling back to a copy into the scratch buffer. The returned slice
+// follows PageViewer's validity rules either way.
+func (s *Store) readPage(id PageID) ([]byte, error) {
+	if v, ok := s.dev.(PageViewer); ok {
+		return v.PageView(id)
+	}
+	buf := s.page()
+	if err := s.dev.Read(id, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// alloc returns a reusable page, extending the device when none is free.
+func (s *Store) alloc() PageID {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id
+	}
+	return s.dev.Allocate()
+}
+
+// Put writes data as a chain of checksummed pages and returns the head
+// page id. The pages are written but not synced; the caller syncs (via
+// WriteSuper) once the whole checkpoint is staged.
+func (s *Store) Put(data []byte) (PageID, error) {
+	n := (len(data) + BlobPayload - 1) / BlobPayload
+	if n == 0 {
+		n = 1
+	}
+	ids := make([]PageID, n)
+	for i := range ids {
+		ids[i] = s.alloc()
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		part := data[i*BlobPayload:]
+		if len(part) > BlobPayload {
+			part = part[:BlobPayload]
+		}
+		next := NilPage
+		if i+1 < n {
+			next = ids[i+1]
+		}
+		binary.LittleEndian.PutUint32(buf[4:], uint32(next))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(len(part)))
+		copy(buf[blobHeader:], part)
+		for j := blobHeader + len(part); j < PageSize; j++ {
+			buf[j] = 0
+		}
+		binary.LittleEndian.PutUint32(buf[0:], crc32.Checksum(buf[4:], storeCRC))
+		if err := s.dev.Write(id, buf); err != nil {
+			return NilPage, err
+		}
+	}
+	return ids[0], nil
+}
+
+// Get reads the blob chained from head, verifying every page's checksum.
+func (s *Store) Get(head PageID) ([]byte, error) {
+	var data []byte
+	buf := s.page()
+	seen := 0
+	for id := head; id != NilPage; {
+		if seen++; seen > s.dev.NumPages() {
+			return nil, fmt.Errorf("pager: blob chain from page %d cycles", head)
+		}
+		if err := s.dev.Read(id, buf); err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != crc32.Checksum(buf[4:], storeCRC) {
+			return nil, fmt.Errorf("pager: blob page %d failed checksum", id)
+		}
+		n := binary.LittleEndian.Uint32(buf[8:])
+		if n > BlobPayload {
+			return nil, fmt.Errorf("pager: blob page %d claims %d payload bytes", id, n)
+		}
+		data = append(data, buf[blobHeader:blobHeader+n]...)
+		id = PageID(binary.LittleEndian.Uint32(buf[4:]))
+	}
+	return data, nil
+}
+
+// GetChain reads the blob chained from head and returns its page ids in
+// one pass — what recovery wants, since it needs both the content and the
+// reachability set and should not pay the page reads twice. The blob is
+// appended to data and the ids to ids, so a caller looping over many
+// blobs can recycle both backing arrays (pass them back re-sliced to
+// zero length) and walk the whole checkpoint without reallocating.
+func (s *Store) GetChain(head PageID, data []byte, ids []PageID) ([]byte, []PageID, error) {
+	start := len(ids)
+	for id := head; id != NilPage; {
+		if len(ids)-start >= s.dev.NumPages() {
+			return nil, nil, fmt.Errorf("pager: blob chain from page %d cycles", head)
+		}
+		buf, err := s.readPage(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != crc32.Checksum(buf[4:], storeCRC) {
+			return nil, nil, fmt.Errorf("pager: blob page %d failed checksum", id)
+		}
+		n := binary.LittleEndian.Uint32(buf[8:])
+		if n > BlobPayload {
+			return nil, nil, fmt.Errorf("pager: blob page %d claims %d payload bytes", id, n)
+		}
+		data = append(data, buf[blobHeader:blobHeader+n]...)
+		ids = append(ids, id)
+		id = PageID(binary.LittleEndian.Uint32(buf[4:]))
+	}
+	return data, ids, nil
+}
+
+// Chain returns the page ids making up the blob at head (for reachability
+// sweeps), verifying checksums along the way.
+func (s *Store) Chain(head PageID) ([]PageID, error) {
+	var ids []PageID
+	buf := s.page()
+	for id := head; id != NilPage; {
+		if len(ids) >= s.dev.NumPages() {
+			return nil, fmt.Errorf("pager: blob chain from page %d cycles", head)
+		}
+		if err := s.dev.Read(id, buf); err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != crc32.Checksum(buf[4:], storeCRC) {
+			return nil, fmt.Errorf("pager: blob page %d failed checksum", id)
+		}
+		ids = append(ids, id)
+		id = PageID(binary.LittleEndian.Uint32(buf[4:]))
+	}
+	return ids, nil
+}
+
+// Free schedules the blob at head for reuse after the next Commit. The
+// chain is walked to find its pages, so it must still be intact.
+func (s *Store) Free(head PageID) error {
+	ids, err := s.Chain(head)
+	if err != nil {
+		return err
+	}
+	s.pending = append(s.pending, ids...)
+	return nil
+}
+
+// Commit makes every page freed since the previous Commit reusable. Call
+// it only after the superblock referencing the new checkpoint is durable:
+// until then the freed pages still belong to the previous checkpoint,
+// which a crash would fall back to.
+func (s *Store) Commit() {
+	s.free = append(s.free, s.pending...)
+	s.pending = s.pending[:0]
+}
+
+// Rollback discards the frees staged since the previous Commit, for a
+// checkpoint that failed before its superblock landed: the pages stay
+// referenced by the still-current checkpoint, so they must not re-enter
+// circulation. Pages written by the failed attempt are leaked until the
+// next recovery's RebuildFree reclaims them — a bounded loss that keeps
+// the failure path trivially correct.
+func (s *Store) Rollback() { s.pending = s.pending[:0] }
+
+// RebuildFree derives the freelist as every allocated page (past the
+// superblocks) not in reachable, for use after recovery.
+func (s *Store) RebuildFree(reachable []PageID) {
+	used := make(map[PageID]bool, len(reachable))
+	for _, id := range reachable {
+		used[id] = true
+	}
+	s.free = s.free[:0]
+	s.pending = s.pending[:0]
+	for i := 2; i < s.dev.NumPages(); i++ {
+		if !used[PageID(i)] {
+			s.free = append(s.free, PageID(i))
+		}
+	}
+	// Reuse low pages first so a long-lived store stays compact.
+	sort.Slice(s.free, func(a, b int) bool { return s.free[a] > s.free[b] })
+}

@@ -1,0 +1,171 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrInjected is the error every FaultFS operation returns once the
+// configured trip point has been reached.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps an FS with a deterministic fault injector: mutating
+// operations (Create, Append, Rename, Remove, and every Write and Sync on
+// handles it hands out) are counted, and once the count passes the
+// configured trip point every further operation fails with ErrInjected —
+// the wrapped process can no longer make anything durable, exactly as if
+// it had been killed. The tripping operation itself fails too; when it is
+// a Write, half of the buffer is written before the error, modeling a torn
+// write.
+//
+// A probe run with no trip set (the default) counts the operations of a
+// healthy execution; the crash matrix then replays the same scenario once
+// per possible trip point. Reads are never failed: recovery is exercised
+// against the underlying FS directly.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     int
+	tripAt  int // fail the op that would make ops exceed this; <0 = never
+	tripped bool
+}
+
+// NewFaultFS wraps inner with no trip configured.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, tripAt: -1}
+}
+
+// SetTrip arms the injector: the (n+1)-th mutating operation from now on
+// fails, as does everything after it. SetTrip(-1) disarms. The operation
+// counter is reset.
+func (f *FaultFS) SetTrip(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = 0
+	f.tripAt = n
+	f.tripped = false
+}
+
+// Ops returns the number of mutating operations observed since the last
+// SetTrip (or construction).
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Tripped reports whether the injector has fired.
+func (f *FaultFS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// stepResult classifies one mutating operation: it proceeds, it is the
+// operation that trips the injector, or the injector tripped earlier.
+type stepResult int
+
+const (
+	stepOK   stepResult = iota // proceed normally
+	stepTrip                   // this operation fires the fault
+	stepDead                   // a previous operation already fired it
+)
+
+// step counts one mutating operation and classifies it.
+func (f *FaultFS) step() stepResult {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tripped {
+		return stepDead
+	}
+	if f.tripAt >= 0 && f.ops >= f.tripAt {
+		f.tripped = true
+		return stepTrip
+	}
+	f.ops++
+	return stepOK
+}
+
+// Create opens name for writing through the injector.
+func (f *FaultFS) Create(name string) (File, error) {
+	if f.step() != stepOK {
+		return nil, ErrInjected
+	}
+	h, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: h}, nil
+}
+
+// Append opens name for appending through the injector.
+func (f *FaultFS) Append(name string) (File, error) {
+	if f.step() != stepOK {
+		return nil, ErrInjected
+	}
+	h, err := f.inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: h}, nil
+}
+
+// Open opens name for reading; reads are never failed.
+func (f *FaultFS) Open(name string) (io.ReadCloser, error) {
+	return f.inner.Open(name)
+}
+
+// Remove deletes name through the injector.
+func (f *FaultFS) Remove(name string) error {
+	if f.step() != stepOK {
+		return ErrInjected
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename renames through the injector; a tripped rename has no effect
+// (renames are atomic, so they either happen or do not).
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if f.step() != stepOK {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// faultFile is a File handle routed through the injector.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+// Write writes through the injector; the tripping write lands only a torn
+// prefix (half the buffer) before failing, and writes after the trip land
+// nothing at all.
+func (w *faultFile) Write(p []byte) (int, error) {
+	switch w.fs.step() {
+	case stepTrip:
+		n := 0
+		if len(p) > 1 {
+			n, _ = w.inner.Write(p[:len(p)/2])
+		}
+		return n, ErrInjected
+	case stepDead:
+		return 0, ErrInjected
+	}
+	return w.inner.Write(p)
+}
+
+// Sync syncs through the injector; a tripped sync leaves the written bytes
+// without a durability promise.
+func (w *faultFile) Sync() error {
+	if w.fs.step() != stepOK {
+		return ErrInjected
+	}
+	return w.inner.Sync()
+}
+
+// Close closes the underlying handle; closing is free (it promises
+// nothing).
+func (w *faultFile) Close() error { return w.inner.Close() }

@@ -1,0 +1,269 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+
+	"errors"
+)
+
+// Record frame layout, little-endian:
+//
+//	u32 payload length | u32 CRC-32C | u64 LSN | payload bytes
+//
+// The CRC covers the LSN and the payload, so a frame whose length field
+// survived but whose body was torn is rejected, and a stale frame left
+// behind by a shorter rewrite cannot masquerade as current (its LSN is
+// checked for monotonicity as well).
+const recordHeader = 4 + 4 + 8
+
+// maxRecordSize bounds a single record's payload. It exists to keep a
+// corrupted length field from driving a multi-gigabyte allocation during
+// replay; real records (one logged write each) are a few dozen bytes.
+const maxRecordSize = 1 << 20
+
+// crcTable is the Castagnoli table used for all record checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one replayed log entry.
+type Record struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// OpenStats describes what Open found in an existing log.
+type OpenStats struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// TornBytes is the number of trailing bytes discarded because they did
+	// not form an intact record (torn tail after a crash). Zero for a
+	// clean log.
+	TornBytes int
+}
+
+// Log is an append-only record log. It is not safe for concurrent use;
+// the owning facade serializes writers.
+type Log struct {
+	fs      FS
+	name    string
+	f       File
+	nextLSN uint64
+	synced  uint64 // highest LSN covered by a completed Sync
+	records int    // records currently in the file
+}
+
+// Open opens (or creates) the log called name inside fsys, replaying every
+// intact record. A torn tail — trailing bytes that do not parse into a
+// record with a valid checksum and a monotonically increasing LSN — is cut
+// off and the file is repaired to the intact prefix before the log accepts
+// appends, so a crash mid-append never leaves permanent garbage. The
+// replayed records (oldest first) and repair statistics are returned along
+// with the ready-to-append log.
+func Open(fsys FS, name string) (*Log, []Record, OpenStats, error) {
+	var stats OpenStats
+	data, err := readAll(fsys, name)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, stats, fmt.Errorf("wal: read %s: %w", name, err)
+	}
+	records, consumed := parseRecords(data)
+	stats.Records = len(records)
+	stats.TornBytes = len(data) - consumed
+	if stats.TornBytes > 0 {
+		// Repair: rewrite the intact prefix and atomically swap it in, so
+		// the torn bytes cannot resurface.
+		if err := rewrite(fsys, name, data[:consumed]); err != nil {
+			return nil, nil, stats, fmt.Errorf("wal: repair %s: %w", name, err)
+		}
+	}
+	f, err := fsys.Append(name)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("wal: open %s: %w", name, err)
+	}
+	l := &Log{fs: fsys, name: name, f: f, records: len(records)}
+	if n := len(records); n > 0 {
+		l.nextLSN = records[n-1].LSN + 1
+		l.synced = records[n-1].LSN
+	}
+	return l, records, stats, nil
+}
+
+// readAll returns the full content of name.
+func readAll(fsys FS, name string) ([]byte, error) {
+	r, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// parseRecords decodes the longest intact record prefix of data, returning
+// the records and the number of bytes they occupy. Parsing stops at the
+// first frame that is truncated, oversized, fails its checksum, or breaks
+// LSN monotonicity.
+func parseRecords(data []byte) ([]Record, int) {
+	var records []Record
+	at := 0
+	var prevLSN uint64
+	for len(data)-at >= recordHeader {
+		n := int(binary.LittleEndian.Uint32(data[at:]))
+		if n > maxRecordSize || at+recordHeader+n > len(data) {
+			break
+		}
+		crc := binary.LittleEndian.Uint32(data[at+4:])
+		body := data[at+8 : at+recordHeader+n] // LSN + payload
+		if crc32.Checksum(body, crcTable) != crc {
+			break
+		}
+		lsn := binary.LittleEndian.Uint64(body)
+		if len(records) > 0 && lsn != prevLSN+1 {
+			break
+		}
+		records = append(records, Record{
+			LSN:     lsn,
+			Payload: append([]byte(nil), body[8:]...),
+		})
+		prevLSN = lsn
+		at += recordHeader + n
+	}
+	return records, at
+}
+
+// appendFrame appends one framed record to buf.
+func appendFrame(buf []byte, lsn uint64, payload []byte) []byte {
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:], lsn)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	body := buf[len(buf)-len(payload)-8:]
+	binary.LittleEndian.PutUint32(buf[len(buf)-len(payload)-12:], crc32.Checksum(body, crcTable))
+	return buf
+}
+
+// rewrite atomically replaces name's content with data (write a sibling,
+// sync, rename).
+func rewrite(fsys FS, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, name)
+}
+
+// Append writes one record with the next LSN and returns that LSN. The
+// record is not durable until the next successful Sync. A failed append
+// may leave a torn frame at the file's tail; the next Open cuts it off, so
+// the in-memory LSN is not advanced.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecordSize {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), maxRecordSize)
+	}
+	lsn := l.nextLSN
+	frame := appendFrame(make([]byte, 0, recordHeader+len(payload)), lsn, payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, err
+	}
+	l.nextLSN = lsn + 1
+	l.records++
+	return lsn, nil
+}
+
+// Sync is the group-commit barrier: after it returns nil, every record
+// appended so far survives a crash.
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.nextLSN > 0 {
+		l.synced = l.nextLSN - 1
+	}
+	return nil
+}
+
+// SyncedLSN returns the highest LSN covered by a completed Sync (0 when
+// nothing has been synced; LSNs start at 0, so pair it with Len to
+// disambiguate the empty log).
+func (l *Log) SyncedLSN() uint64 { return l.synced }
+
+// NextLSN returns the LSN the next append will use.
+func (l *Log) NextLSN() uint64 { return l.nextLSN }
+
+// SetNextLSN raises the next append LSN to at least n. A truncated-empty
+// log reopens with nextLSN 0, but its dropped records' LSNs are still
+// spoken for by the checkpoint that truncated them; the owner calls this
+// with the checkpoint's replay cursor so fresh appends never reuse an LSN
+// the replay filter would skip.
+func (l *Log) SetNextLSN(n uint64) {
+	if n > l.nextLSN {
+		l.nextLSN = n
+		l.synced = n - 1
+	}
+}
+
+// Len returns the number of records currently in the log file.
+func (l *Log) Len() int { return l.records }
+
+// Truncate drops every record with LSN <= upTo: the surviving tail is
+// rewritten to a sibling file, synced, and atomically renamed over the
+// log. The caller must guarantee the dropped prefix is durable elsewhere
+// (a committed checkpoint) before calling. The old file is read once, but
+// only the surviving tail is rewritten and synced. On success the log
+// continues appending after the tail; on failure the old file remains
+// intact and the log stays usable.
+func (l *Log) Truncate(upTo uint64) error {
+	data, err := readAll(l.fs, l.name)
+	if err != nil {
+		return fmt.Errorf("wal: truncate read: %w", err)
+	}
+	records, _ := parseRecords(data)
+	buf := make([]byte, 0, 1024)
+	kept := 0
+	for _, r := range records {
+		if r.LSN > upTo {
+			buf = appendFrame(buf, r.LSN, r.Payload)
+			kept++
+		}
+	}
+	if kept == len(records) {
+		return nil // nothing to drop
+	}
+	if err := rewrite(l.fs, l.name, buf); err != nil {
+		return fmt.Errorf("wal: truncate rewrite: %w", err)
+	}
+	// Swap the append handle to the new file. The old handle points at the
+	// renamed-over inode; close it and reopen.
+	l.f.Close()
+	f, err := l.fs.Append(l.name)
+	if err != nil {
+		return fmt.Errorf("wal: truncate reopen: %w", err)
+	}
+	l.f = f
+	l.records = kept
+	return nil
+}
+
+// Close syncs and releases the log's file handle. The log must not be
+// used afterwards.
+func (l *Log) Close() error {
+	err := l.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

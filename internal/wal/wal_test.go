@@ -1,0 +1,279 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// openEmpty opens a fresh log over a fresh MemFS, failing the test on
+// error.
+func openEmpty(t *testing.T) (*MemFS, *Log) {
+	t.Helper()
+	fs := NewMemFS()
+	l, recs, stats, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || stats.Records != 0 || stats.TornBytes != 0 {
+		t.Fatalf("fresh log not empty: %v %+v", recs, stats)
+	}
+	return fs, l
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	fs, l := openEmpty(t)
+	for i := 0; i < 100; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("op-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, stats, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 100 || stats.TornBytes != 0 {
+		t.Fatalf("replayed %d records, torn %d", len(recs), stats.TornBytes)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i) || string(r.Payload) != fmt.Sprintf("op-%d", i) {
+			t.Fatalf("record %d = %d %q", i, r.LSN, r.Payload)
+		}
+	}
+}
+
+func TestCrashDropsUnsynced(t *testing.T) {
+	fs, l := openEmpty(t)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No sync: a crash loses the second batch.
+	fs.Crash()
+	_, recs, _, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records after crash, want 10", len(recs))
+	}
+}
+
+func TestTornTailIsCutAndRepaired(t *testing.T) {
+	fs, l := openEmpty(t)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte{byte(i), byte(i), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Sync()
+	// Tear the file mid-final-record.
+	data := fs.Bytes("wal.log")
+	fs.SetBytes("wal.log", data[:len(data)-2])
+	_, recs, stats, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	if stats.TornBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	// The repair must be persistent: a second open sees a clean log.
+	_, recs2, stats2, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 4 || stats2.TornBytes != 0 {
+		t.Fatalf("repair not persisted: %d records, torn %d", len(recs2), stats2.TornBytes)
+	}
+}
+
+func TestCorruptChecksumDetected(t *testing.T) {
+	fs, l := openEmpty(t)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Sync()
+	// Flip one payload byte of the second record: replay must stop after
+	// the first record rather than deliver a corrupted payload.
+	data := fs.Bytes("wal.log")
+	frame := recordHeader + 8
+	data[frame+recordHeader+3] ^= 0xFF
+	fs.SetBytes("wal.log", data)
+	_, recs, stats, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past a bad checksum, want 1", len(recs))
+	}
+	if stats.TornBytes != 2*frame {
+		t.Fatalf("torn bytes = %d, want %d", stats.TornBytes, 2*frame)
+	}
+}
+
+func TestOversizedLengthFieldRejected(t *testing.T) {
+	fs := NewMemFS()
+	// A frame claiming a huge payload must not drive a huge allocation.
+	frame := make([]byte, recordHeader)
+	frame[0] = 0xFF
+	frame[1] = 0xFF
+	frame[2] = 0xFF
+	frame[3] = 0x7F
+	fs.SetBytes("wal.log", frame)
+	_, recs, stats, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || stats.TornBytes != recordHeader {
+		t.Fatalf("oversized frame parsed: %d records, torn %d", len(recs), stats.TornBytes)
+	}
+}
+
+func TestTruncateKeepsTail(t *testing.T) {
+	fs, l := openEmpty(t)
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Sync()
+	if err := l.Truncate(14); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len after truncate = %d, want 5", l.Len())
+	}
+	// Appends continue with contiguous LSNs and both survive replay.
+	lsn, err := l.Append([]byte{99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 20 {
+		t.Fatalf("post-truncate lsn = %d, want 20", lsn)
+	}
+	l.Sync()
+	_, recs, _, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 || recs[0].LSN != 15 || recs[5].LSN != 20 {
+		t.Fatalf("replay after truncate: %d records, first %d", len(recs), recs[0].LSN)
+	}
+}
+
+func TestFaultFSTearsTrippingWrite(t *testing.T) {
+	mem := NewMemFS()
+	faulty := NewFaultFS(mem)
+	l, _, _, err := Open(faulty, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	faulty.SetTrip(0) // next op (the append's write) tears
+	if _, err := l.Append([]byte("bbbb")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append error = %v, want injected", err)
+	}
+	if _, err := l.Append([]byte("cccc")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip append error = %v, want injected", err)
+	}
+	mem.Crash()
+	_, recs, _, err := Open(mem, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "aaaa" {
+		t.Fatalf("recovered %d records, want the synced one", len(recs))
+	}
+}
+
+func TestFaultFSOpCountProbe(t *testing.T) {
+	mem := NewMemFS()
+	faulty := NewFaultFS(mem)
+	l, _, _, err := Open(faulty, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := faulty.Ops()
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	l.Sync()
+	if got := faulty.Ops() - before; got != 2 { // one write + one sync
+		t.Fatalf("ops for append+sync = %d, want 2", got)
+	}
+	if faulty.Tripped() {
+		t.Fatal("probe run tripped")
+	}
+}
+
+func TestDirFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, _, err := Open(fsys, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := func() error { // reopen and truncate
+		l2, recs, _, err := Open(fsys, "wal.log")
+		if err != nil {
+			return err
+		}
+		if len(recs) != 10 {
+			return fmt.Errorf("replayed %d records, want 10", len(recs))
+		}
+		if err := l2.Truncate(7); err != nil {
+			return err
+		}
+		return l2.Close()
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _, err := Open(fsys, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].LSN != 8 {
+		t.Fatalf("after dir truncate: %d records, first LSN %v", len(recs), recs)
+	}
+}

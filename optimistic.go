@@ -77,6 +77,10 @@ type Optimistic[K Key, V any] struct {
 	flusher atomic.Bool
 	// workers tracks live flush workers so Close can await their exit.
 	workers sync.WaitGroup
+
+	// flushHook, when set, is called after every publication that installs
+	// a new base tree (see SetFlushHook).
+	flushHook atomic.Pointer[func()]
 }
 
 // ostate is one immutable published state. Neither the tree nor either
@@ -317,12 +321,34 @@ func (o *Optimistic[K, V]) Delete(k K) bool {
 	return true
 }
 
+// SetFlushHook registers fn to run after every publication that installs
+// a new base tree — an inline fold, a background merge, a SyncFlush — on
+// whichever goroutine performed it. The durability layer uses it as its
+// checkpoint trigger: a new base tree means dirty chunks exist to persist.
+// fn runs with the writer mutex held, so it must not block or call back
+// into this facade's write path; hand real work to another goroutine.
+// SetFlushHook(nil) unregisters.
+func (o *Optimistic[K, V]) SetFlushHook(fn func()) {
+	if fn == nil {
+		o.flushHook.Store(nil)
+		return
+	}
+	o.flushHook.Store(&fn)
+}
+
 // publish installs next as the current state, bumping the version stamp to
-// odd for the duration of the store. Callers hold o.mu.
+// odd for the duration of the store, and fires the flush hook when the
+// base tree changed. Callers hold o.mu.
 func (o *Optimistic[K, V]) publish(next *ostate[K, V]) {
+	prev := o.state.Load()
 	o.version.Add(1)
 	o.state.Store(next)
 	o.version.Add(1)
+	if next.tree != prev.tree {
+		if h := o.flushHook.Load(); h != nil {
+			(*h)()
+		}
+	}
 }
 
 // publishWrite publishes a writer's next state and, when it carries a

@@ -1,0 +1,176 @@
+package fitingtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// This file encodes single write operations for the WAL. A record is
+//
+//	op byte | u64 key bits | value bytes (inserts only)
+//
+// Key is a ~-constrained generic, so the key's underlying kind is resolved
+// once per codec with reflection and cached; integers round-trip through
+// their two's-complement bits and floats through math.Float64bits (exact
+// for float32 as well, since float32 -> float64 is lossless). Values of
+// numeric, bool, and string kinds use the same compact paths; any other
+// value type falls back to a self-describing gob stream per record —
+// bulkier, but the WAL holds only the un-checkpointed tail, so compactness
+// matters less than never silently failing on an exotic V.
+
+// Op codes stored in a WAL record's first byte.
+const (
+	walOpInsert byte = 1
+	walOpDelete byte = 2
+)
+
+// opCodec converts between (op, key, value) and WAL record payloads for
+// one concrete K, V instantiation.
+type opCodec[K Key, V any] struct {
+	ktype reflect.Type
+	kkind reflect.Kind
+	vkind reflect.Kind
+}
+
+// newOpCodec resolves the kinds of K and V once.
+func newOpCodec[K Key, V any]() opCodec[K, V] {
+	kt := reflect.TypeOf((*K)(nil)).Elem()
+	vt := reflect.TypeOf((*V)(nil)).Elem()
+	return opCodec[K, V]{ktype: kt, kkind: kt.Kind(), vkind: vt.Kind()}
+}
+
+// keyBits maps a key to its 8-byte wire form.
+func (c *opCodec[K, V]) keyBits(k K) uint64 {
+	rv := reflect.ValueOf(k)
+	switch c.kkind {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return uint64(rv.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return rv.Uint()
+	default:
+		return math.Float64bits(rv.Float())
+	}
+}
+
+// keyFromBits inverts keyBits.
+func (c *opCodec[K, V]) keyFromBits(b uint64) K {
+	rv := reflect.New(c.ktype).Elem()
+	switch c.kkind {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		rv.SetInt(int64(b))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		rv.SetUint(b)
+	default:
+		rv.SetFloat(math.Float64frombits(b))
+	}
+	return rv.Interface().(K)
+}
+
+// appendValue appends v's wire form to buf.
+func (c *opCodec[K, V]) appendValue(buf []byte, v V) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	switch c.vkind {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return binary.LittleEndian.AppendUint64(buf, uint64(rv.Int())), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return binary.LittleEndian.AppendUint64(buf, rv.Uint()), nil
+	case reflect.Float32, reflect.Float64:
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(rv.Float())), nil
+	case reflect.Bool:
+		b := byte(0)
+		if rv.Bool() {
+			b = 1
+		}
+		return append(buf, b), nil
+	case reflect.String:
+		return append(buf, rv.String()...), nil
+	default:
+		var sink bytes.Buffer
+		if err := gob.NewEncoder(&sink).Encode(&v); err != nil {
+			return nil, fmt.Errorf("fitingtree: wal value encode: %w", err)
+		}
+		return append(buf, sink.Bytes()...), nil
+	}
+}
+
+// decodeValue inverts appendValue over the record's value bytes.
+func (c *opCodec[K, V]) decodeValue(data []byte) (V, error) {
+	var v V
+	rv := reflect.ValueOf(&v).Elem()
+	fixed := func(n int) error {
+		if len(data) != n {
+			return fmt.Errorf("fitingtree: wal value of %d bytes, want %d", len(data), n)
+		}
+		return nil
+	}
+	switch c.vkind {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if err := fixed(8); err != nil {
+			return v, err
+		}
+		rv.SetInt(int64(binary.LittleEndian.Uint64(data)))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		if err := fixed(8); err != nil {
+			return v, err
+		}
+		rv.SetUint(binary.LittleEndian.Uint64(data))
+	case reflect.Float32, reflect.Float64:
+		if err := fixed(8); err != nil {
+			return v, err
+		}
+		rv.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+	case reflect.Bool:
+		if err := fixed(1); err != nil {
+			return v, err
+		}
+		rv.SetBool(data[0] == 1)
+	case reflect.String:
+		rv.SetString(string(data))
+	default:
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+			return v, fmt.Errorf("fitingtree: wal value decode: %w", err)
+		}
+	}
+	return v, nil
+}
+
+// encodeOp builds one WAL record payload.
+func (c *opCodec[K, V]) encodeOp(op byte, k K, v V) ([]byte, error) {
+	buf := make([]byte, 9, 24)
+	buf[0] = op
+	binary.LittleEndian.PutUint64(buf[1:], c.keyBits(k))
+	if op == walOpInsert {
+		return c.appendValue(buf, v)
+	}
+	return buf, nil
+}
+
+// decodeOp parses one WAL record payload. Delete records carry no value;
+// the zero V is returned for them.
+func (c *opCodec[K, V]) decodeOp(payload []byte) (op byte, k K, v V, err error) {
+	if len(payload) < 9 {
+		return 0, k, v, fmt.Errorf("fitingtree: wal record of %d bytes is too short", len(payload))
+	}
+	op = payload[0]
+	k = c.keyFromBits(binary.LittleEndian.Uint64(payload[1:]))
+	switch op {
+	case walOpInsert:
+		v, err = c.decodeValue(payload[9:])
+	case walOpDelete:
+		if len(payload) != 9 {
+			err = fmt.Errorf("fitingtree: delete record carries %d trailing bytes", len(payload)-9)
+		}
+	default:
+		err = fmt.Errorf("fitingtree: unknown wal op %d", op)
+	}
+	if k != k {
+		// A NaN key would corrupt the sorted-delta invariant on replay
+		// exactly as it would on the write path (which panics on it).
+		err = fmt.Errorf("fitingtree: wal record carries NaN key")
+	}
+	return op, k, v, err
+}
