@@ -78,6 +78,10 @@ func TestAsyncFlushBackpressure(t *testing.T) {
 	o := asyncFixture(t, 20_000)
 	const flushAt = 16
 	o.SetFlushEvery(flushAt)
+	// Depth 1 pins the single-slot pipeline this test was written for:
+	// with a deeper ladder the absorb phase would push more layers
+	// instead of backpressuring.
+	o.SetMaxFrozenLayers(1)
 	base := o.Len()
 
 	// Stage a frozen delta by hand and hold the worker slot.
@@ -89,7 +93,7 @@ func TestAsyncFlushBackpressure(t *testing.T) {
 		t.Fatalf("staging expected a pure active delta, got delta=%v frozen=%v", st.delta != nil, st.frozen != nil)
 	}
 	o.flusher.Store(true) // no worker is running: the frozen slot is now stuck
-	o.state.Store(&ostate[uint64, uint64]{tree: st.tree, frozen: st.delta, size: st.size})
+	o.state.Store(&ostate[uint64, uint64]{tree: st.tree, frozen: []*odelta[uint64, uint64]{st.delta}, size: st.size})
 
 	// Writers absorb past the trip threshold without flushing...
 	limit := flushAt*FlushBackpressureFactor - 1
@@ -182,7 +186,7 @@ func TestAsyncFlushDeleteThroughFrozen(t *testing.T) {
 	o.Insert(7, 73)
 	st := o.state.Load()
 	o.flusher.Store(true) // hold the worker slot: the frozen layer is pinned
-	o.state.Store(&ostate[uint64, uint64]{tree: st.tree, frozen: st.delta, size: st.size})
+	o.state.Store(&ostate[uint64, uint64]{tree: st.tree, frozen: []*odelta[uint64, uint64]{st.delta}, size: st.size})
 
 	// Layered view of key 7: [70 71 72 73]. Deletes tombstone in exactly
 	// that order — frozen adds are not consumable as pending inserts.

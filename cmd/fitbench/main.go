@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, recovery, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, recovery, burst, all")
 		n        = flag.Int("n", 1_000_000, "base dataset size")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		probes   = flag.Int("probes", 100_000, "lookup probes per measurement")
@@ -72,12 +72,16 @@ func main() {
 		"recovery": func() {
 			writeRecoveryJSON(*jsonPath, cfg, bench.ExtRecovery(os.Stdout, cfg))
 		},
+		"burst": func() {
+			writeBurstJSON(*jsonPath, cfg, bench.ExtBurst(os.Stdout, cfg))
+		},
 		"all": func() {
 			bench.AllButParallel(os.Stdout, cfg)
 			writeShardWriteJSON(suffixedPath(*jsonPath, "_shardwrite"), cfg, bench.ExtShardWrite(os.Stdout, cfg))
 			writeFlushStallJSON(suffixedPath(*jsonPath, "_flushstall"), cfg, bench.ExtFlushStall(os.Stdout, cfg))
 			writeFlushPubJSON(suffixedPath(*jsonPath, "_flushpub"), cfg, bench.ExtFlushPub(os.Stdout, cfg))
 			writeRecoveryJSON(suffixedPath(*jsonPath, "_recovery"), cfg, bench.ExtRecovery(os.Stdout, cfg))
+			writeBurstJSON(suffixedPath(*jsonPath, "_burst"), cfg, bench.ExtBurst(os.Stdout, cfg))
 			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
 		},
 	}
@@ -87,9 +91,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "recovery": true, "all": true}
+	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "recovery": true, "burst": true, "all": true}
 	if *jsonPath != "" && !jsonExps[*exp] {
-		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, recovery, or all\n")
+		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, recovery, burst, or all\n")
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -159,6 +163,24 @@ func writeRecoveryJSON(path string, cfg bench.Config, points []bench.RecoveryPoi
 	writeJSON(path, bench.RecoveryReport{
 		Experiment: "recovery",
 		N:          cfg.N,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	})
+}
+
+// writeBurstJSON writes the burst experiment's machine-readable report to
+// path; it is a no-op when path is empty.
+func writeBurstJSON(path string, cfg bench.Config, points []bench.BurstPoint) {
+	flushEvery := 0
+	if len(points) > 0 {
+		flushEvery = points[0].FlushEvery
+	}
+	writeJSON(path, bench.BurstReport{
+		Experiment: "burst",
+		N:          cfg.N,
+		FlushEvery: flushEvery,
 		Seed:       cfg.Seed,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 	"sync"
 
 	"fitingtree/internal/core"
@@ -155,8 +156,24 @@ func OpenDurable[K Key, V any](fsys wal.FS, dev pager.Device, opts Options) (*Du
 		return nil, err
 	}
 	log.SetNextLSN(replayFrom)
-	opt := NewOptimistic(tree)
 	codec := newOpCodec[K, V]()
+	// Replay the tail as one batch instead of one facade write at a time:
+	// a long tail pushed through the ordinary insert path trips the flush
+	// threshold once per DefaultFlushEvery records and re-segments the
+	// same hot pages over and over, which dominates recovery. The buffer
+	// applies the write path's op semantics per key — a delete consumes
+	// the newest still-buffered insert for its key, else tombstones one
+	// more pre-existing match in scan order (every logged delete had a
+	// live victim when it was logged, and the WAL tail is a prefix-exact
+	// record of the ops that created it, so the tombstone count can never
+	// exceed the checkpoint tree's matches) — then folds into the
+	// checkpoint tree with a single page-granular MergeCOW pass. Which of
+	// several distinct-valued duplicates a delete victimizes may differ
+	// from the original run's flush-timing-dependent choice; that choice
+	// was never acknowledged state (see Optimistic.Delete).
+	adds := make(map[K][]V)
+	dels := make(map[K]int)
+	replayed := 0
 	for _, r := range records {
 		if r.LSN < replayFrom {
 			// Covered by the checkpoint; the WAL just hasn't been
@@ -169,11 +186,34 @@ func OpenDurable[K Key, V any](fsys wal.FS, dev pager.Device, opts Options) (*Du
 			return nil, fmt.Errorf("fitingtree: wal replay lsn %d: %w", r.LSN, err)
 		}
 		if op == walOpInsert {
-			opt.Insert(k, v)
+			adds[k] = append(adds[k], v)
+		} else if a := adds[k]; len(a) > 0 {
+			adds[k] = a[:len(a)-1]
 		} else {
-			opt.Delete(k)
+			dels[k]++
 		}
+		replayed++
 	}
+	if replayed > 0 {
+		keys := make([]K, 0, len(adds)+len(dels))
+		for k, a := range adds {
+			if len(a) > 0 || dels[k] > 0 {
+				keys = append(keys, k)
+			}
+		}
+		for k := range dels {
+			if _, ok := adds[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		ops := make([]core.MergeOp[K, V], len(keys))
+		for i, k := range keys {
+			ops[i] = core.MergeOp[K, V]{Key: k, Adds: adds[k], Dels: dels[k]}
+		}
+		tree = tree.MergeCOW(ops)
+	}
+	opt := NewOptimistic(tree)
 
 	d := &Durable[K, V]{
 		opt:          opt,
@@ -389,7 +429,7 @@ func (d *Durable[K, V]) checkpointLocked() (CheckpointStats, error) {
 	// and costs O(pending), and it preserves untouched chunks' identity —
 	// which is what keeps the id diff below O(dirty).
 	tree := st.tree
-	if st.frozen != nil || st.delta != nil {
+	if len(st.frozen) > 0 || st.delta != nil {
 		tree = st.fold()
 	}
 
@@ -568,6 +608,13 @@ func (d *Durable[K, V]) Stats() Stats { return d.opt.Stats() }
 
 // SetFlushEvery forwards to the inner Optimistic facade.
 func (d *Durable[K, V]) SetFlushEvery(n int) { d.opt.SetFlushEvery(n) }
+
+// SetMaxFrozenLayers sets the frozen merge ladder depth; see
+// Optimistic.SetMaxFrozenLayers. Durability is unaffected by the depth:
+// the WAL covers every pending layer, and the checkpointer runs on
+// base-tree publications (ladder folds), which are the pipeline's natural
+// consistent cuts.
+func (d *Durable[K, V]) SetMaxFrozenLayers(n int) { d.opt.SetMaxFrozenLayers(n) }
 
 // SyncFlush folds the pending delta into the base tree and waits for the
 // publication; see Optimistic.SyncFlush. Durability is unaffected (the WAL

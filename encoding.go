@@ -69,14 +69,14 @@ func EncodeOptimistic[K Key, V any](o *Optimistic[K, V], w io.Writer) error {
 }
 
 // bounds returns the smallest and largest key across the base tree and
-// both pending deltas, reporting false when the state is empty.
+// every pending delta layer, reporting false when the state is empty.
 func (st *ostate[K, V]) bounds() (lo, hi K, ok bool) {
 	if st.tree.Len() > 0 {
 		lo, _, _ = st.tree.Min()
 		hi, _, _ = st.tree.Max()
 		ok = true
 	}
-	for _, d := range [...]*odelta[K, V]{st.frozen, st.delta} {
+	for _, d := range append(append([]*odelta[K, V]{}, st.frozen...), st.delta) {
 		if d == nil || len(d.keys) == 0 {
 			continue
 		}

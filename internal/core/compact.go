@@ -1,0 +1,78 @@
+package core
+
+import "fitingtree/internal/num"
+
+// CompactOps composes two adjacent delta layers into a single op list
+// with the same meaning as applying lower and then upper: the result's
+// tombstone counts are relative to the view beneath lower, exactly as
+// lower's were, so MergeCOW(CompactOps(lower, upper, count)) publishes
+// the same content as MergeCOW2(lower, upper). Both inputs must be
+// sorted by strictly ascending Key (MergeOp form); the output is too.
+//
+// The composition is per-key arithmetic except for one case that needs
+// the tree: upper's tombstones consume, in scan order, the base matches
+// that survive lower's tombstones *before* they consume lower's adds.
+// When upper deletes under a key where lower also has pending adds, the
+// split between "more base tombstones" and "drop lower's oldest adds"
+// depends on how many live base matches exist beneath lower. countBeneath
+// reports that number for a key, counting at most limit matches (the
+// composition never needs more than lower.Dels+upper.Dels, so the
+// callback can stop early); it is consulted only for such ambiguous keys.
+// When lower has no adds, every upper tombstone must land on a base match
+// — the write path only records a tombstone when a live victim exists
+// beneath it, and compactions preserve content — so no count is needed.
+//
+// Keys whose composed entry carries no adds and no tombstones (an insert
+// fully cancelled by a later delete) are dropped from the result.
+func CompactOps[K num.Key, V any](lower, upper []MergeOp[K, V], countBeneath func(k K, limit int) int) []MergeOp[K, V] {
+	out := make([]MergeOp[K, V], 0, len(lower)+len(upper))
+	i, j := 0, 0
+	for i < len(lower) || j < len(upper) {
+		switch {
+		case j >= len(upper) || (i < len(lower) && lower[i].Key < upper[j].Key):
+			out = append(out, lower[i])
+			i++
+		case i >= len(lower) || upper[j].Key < lower[i].Key:
+			out = append(out, upper[j])
+			j++
+		default:
+			lo, up := lower[i], upper[j]
+			i++
+			j++
+			// consumed is how many of upper's tombstones land on base
+			// matches (they add to the composed tombstone count); the
+			// excess lands on lower's oldest pending adds instead.
+			consumed := up.Dels
+			excess := 0
+			if up.Dels > 0 && len(lo.Adds) > 0 {
+				base := countBeneath(lo.Key, lo.Dels+up.Dels)
+				survivors := base - lo.Dels
+				if survivors < 0 {
+					survivors = 0
+				}
+				if consumed > survivors {
+					consumed = survivors
+				}
+				excess = up.Dels - consumed
+				if excess > len(lo.Adds) {
+					// More tombstones than victims would violate the
+					// write path's victim-exists invariant; clamp so a
+					// malformed input cannot panic the slice below.
+					excess = len(lo.Adds)
+				}
+			}
+			adds := lo.Adds[excess:]
+			if len(up.Adds) > 0 {
+				merged := make([]V, 0, len(adds)+len(up.Adds))
+				merged = append(merged, adds...)
+				merged = append(merged, up.Adds...)
+				adds = merged
+			}
+			op := MergeOp[K, V]{Key: lo.Key, Adds: adds, Dels: lo.Dels + consumed}
+			if op.Dels > 0 || len(op.Adds) > 0 {
+				out = append(out, op)
+			}
+		}
+	}
+	return out
+}

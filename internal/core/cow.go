@@ -146,6 +146,26 @@ func (t *Tree[K, V]) MergeCOW2(first, second []MergeOp[K, V]) *Tree[K, V] {
 	return t.MergeCOW(first).MergeCOW(second)
 }
 
+// MergeCOWN folds an ordered stack of delta layers into the tree
+// copy-on-write, bottom layer first. It generalizes MergeCOW2 to any
+// depth: each layer's tombstone counts are interpreted against the scan
+// order of the tree after every layer beneath it has been applied —
+// surviving base matches first, then the lower layers' adds in insertion
+// order — which is exactly the order each MergeCOW pass materializes, so
+// a layered read before the fold and a plain read after it observe
+// identical content. This relativity rule is what makes the fold a
+// sequential pass per layer instead of a composition problem; composing
+// two adjacent layers into one op list without touching the tree is
+// CompactOps' job. Empty layers are skipped; with all layers empty the
+// receiver itself is returned.
+func (t *Tree[K, V]) MergeCOWN(layers ...[]MergeOp[K, V]) *Tree[K, V] {
+	nt := t
+	for _, layer := range layers {
+		nt = nt.MergeCOW(layer)
+	}
+	return nt
+}
+
 // retireDirtyEntries deletes from nt's router the entry of every dirty
 // page that heads an equal-start run in the receiver's chain. Dirty pages
 // continuing a run that starts on a carried page own no entry, and the

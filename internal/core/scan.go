@@ -240,15 +240,22 @@ func (t *Tree[K, V]) LookupBreakdown(k K) (v V, ok bool, treeNs, pageNs int64) {
 
 // Stats describes the size and shape of a FITing-Tree.
 type Stats struct {
-	Elements  int // total stored elements, including buffered ones
-	Pages     int // number of variable-sized table pages (= segments)
-	Chunks    int // number of chain chunks the pages are grouped into
-	Buffered  int // elements currently in insert buffers
-	Deletes   int // in-place deletions pending re-segmentation
-	Inner     btree.Stats
-	Height    int   // inner tree height
-	IndexSize int64 // bytes: inner tree + 24 B/segment metadata (paper's accounting)
-	DataSize  int64 // bytes of table data incl. buffers (not part of the index)
+	Elements int // total stored elements, including buffered ones
+	Pages    int // number of variable-sized table pages (= segments)
+	Chunks   int // number of chain chunks the pages are grouped into
+	Buffered int // elements currently in insert buffers
+	Deletes  int // in-place deletions pending re-segmentation
+	// FrozenLayers is the current depth of a concurrency facade's frozen
+	// merge ladder (0 for a bare tree or a facade with no flush in
+	// flight); LayerPending holds each frozen layer's pending op count
+	// (inserts + tombstones), bottom — next to fold into the tree — to
+	// top. Both are facade-level: Tree.Stats leaves them zero.
+	FrozenLayers int
+	LayerPending []int
+	Inner        btree.Stats
+	Height       int   // inner tree height
+	IndexSize    int64 // bytes: inner tree + 24 B/segment metadata (paper's accounting)
+	DataSize     int64 // bytes of table data incl. buffers (not part of the index)
 }
 
 // Stats traverses the tree and returns its statistics. The IndexSize

@@ -12,14 +12,28 @@ import (
 // Optimistic facade's delta flush (merge into a freshly built tree).
 const DefaultFlushEvery = 1024
 
+// DefaultMaxFrozenLayers is the default depth of the frozen merge ladder:
+// how many tripped deltas may queue for background merging before writers
+// feel backpressure. See SetMaxFrozenLayers.
+const DefaultMaxFrozenLayers = 4
+
 // FlushBackpressureFactor bounds the asynchronous flush pipeline's lag.
-// While a frozen delta is still being merged in the background, writers
-// keep absorbing new writes into the active delta; once the active delta
-// reaches FlushBackpressureFactor times the flush threshold, the tripping
-// writer falls back to a synchronous inline flush of both deltas. The
-// frozen slot has depth one, so this is the only way pending state could
-// otherwise grow without bound.
+// While the frozen ladder is full, writers keep absorbing new writes into
+// the active delta; once the active delta reaches FlushBackpressureFactor
+// times the flush threshold, the tripping writer falls back to a
+// synchronous inline fold of the whole ladder. The same factor bounds the
+// compaction scheduler's layer growth: adjacent frozen layers are merged
+// into each other only while the combined layer stays within
+// FlushBackpressureFactor × the flush threshold, so a fold into the base
+// tree batches about that many deltas.
 const FlushBackpressureFactor = 4
+
+// compactTierFactor is the ladder scheduler's size-tiering ratio: the
+// bottom-most adjacent pair of frozen layers is compacted when the lower
+// layer holds at most compactTierFactor times the upper one's pending
+// ops. A lower layer that has outgrown the ratio (or the combined-size
+// bound) is folded into the base tree instead.
+const compactTierFactor = 4
 
 // Optimistic is a concurrency facade over a Tree with latch-free reads
 // under a single-writer model, the regime the FB+-tree line of work calls
@@ -52,22 +66,25 @@ const FlushBackpressureFactor = 4
 // With the asynchronous pipeline enabled (the default when GOMAXPROCS > 1
 // at construction; see NewOptimistic and SetAsyncFlush), the merge itself
 // runs off the writer's critical path: the tripping writer atomically
-// freezes the delta (a fresh empty active delta takes new writes) and a
-// background flusher goroutine runs the merge and publishes the result,
-// so writer tail latency tracks delta-append cost rather than merge cost.
-// Reads consult tree + frozen delta + active delta through the same
-// snapshot protocol; a backpressure threshold (FlushBackpressureFactor)
-// bounds how far writers can run ahead of the flusher; SyncFlush and
-// Close drain the pipeline; SetAsyncFlush(false) restores the fully
-// inline flush.
+// pushes the delta onto a ladder of frozen immutable layers (a fresh
+// empty active delta takes new writes) and a background worker drains the
+// ladder — size-tiering adjacent frozen layers into each other and
+// folding the bottom layer into the base tree — so writer tail latency
+// tracks delta-append cost rather than merge cost even across write
+// bursts that outrun a single in-flight merge. Reads consult tree ⊕
+// frozen[0..n] ⊕ active through the same snapshot protocol; backpressure
+// (FlushBackpressureFactor) applies only when the ladder is full
+// (SetMaxFrozenLayers); SyncFlush and Close drain the pipeline;
+// SetAsyncFlush(false) restores the fully inline flush.
 //
 // Scans and batch lookups run against one consistent snapshot: writes
 // published during a scan are not observed by it.
 type Optimistic[K Key, V any] struct {
-	mu      sync.Mutex // serializes writers
-	version atomic.Uint64
-	state   atomic.Pointer[ostate[K, V]]
-	flushAt atomic.Int64
+	mu        sync.Mutex // serializes writers
+	version   atomic.Uint64
+	state     atomic.Pointer[ostate[K, V]]
+	flushAt   atomic.Int64
+	maxFrozen atomic.Int64
 
 	// asyncOff disables the background flush pipeline; flushes then run
 	// inline on the tripping writer. The zero value means async is on.
@@ -77,33 +94,43 @@ type Optimistic[K Key, V any] struct {
 	flusher atomic.Bool
 	// workers tracks live flush workers so Close can await their exit.
 	workers sync.WaitGroup
+	// bpFolds counts inline backpressure folds: writers that tripped the
+	// threshold with the ladder full and the active delta past the bound,
+	// and paid the merge themselves. See BackpressureFolds.
+	bpFolds atomic.Uint64
 
 	// flushHook, when set, is called after every publication that installs
 	// a new base tree (see SetFlushHook).
 	flushHook atomic.Pointer[func()]
 }
 
-// ostate is one immutable published state. Neither the tree nor either
-// delta is ever mutated after publication.
+// ostate is one immutable published state. Neither the tree nor any delta
+// layer is ever mutated after publication.
 type ostate[K Key, V any] struct {
 	tree *Tree[K, V]
-	// frozen is a delta handed to the background flusher and no longer
-	// written to (nil when no flush is in flight). Its writes are relative
-	// to tree, exactly as an active delta's are.
-	frozen *odelta[K, V]
+	// frozen is the ladder of deltas handed to the background worker and
+	// no longer written to, bottom (oldest, next to fold into the tree)
+	// first; nil or empty when no flush is in flight. Each layer's
+	// tombstone counts are relative to the layered view beneath it: they
+	// remove the first N matches of [surviving tree matches, then each
+	// lower layer's surviving adds, bottom to top] in scan order. The
+	// slice itself is immutable — ladder changes publish a fresh slice —
+	// so layer pointers at stable indices identify in-flight merge
+	// inputs.
+	frozen []*odelta[K, V]
 	// delta is the active delta taking new writes. Its tombstone counts
-	// are relative to the layered view tree ⊕ frozen: they remove the
-	// first N matches of [surviving tree matches, then frozen adds] in
-	// scan order. MergeCOW materializes exactly that order, so folding the
-	// frozen delta into the tree never changes what the active delta means.
+	// are relative to tree ⊕ frozen, the same relativity rule the frozen
+	// layers follow. MergeCOW materializes exactly that order, so folding
+	// lower layers never changes what an upper layer means.
 	delta *odelta[K, V]
 	size  int // live elements: tree minus deletions plus inserts
 }
 
 // odelta is an immutable sorted set of pending per-key write operations.
-// dels[i] counts deletions applied to the base tree's matches for keys[i]:
-// the first dels[i] matches in Each order are treated as removed. adds[i]
-// holds pending inserts for keys[i] in insertion order.
+// dels[i] counts deletions applied to the layers beneath this delta's
+// matches for keys[i]: the first dels[i] matches in Each order are treated
+// as removed. adds[i] holds pending inserts for keys[i] in insertion
+// order.
 type odelta[K Key, V any] struct {
 	keys []K
 	adds [][]V
@@ -111,6 +138,9 @@ type odelta[K Key, V any] struct {
 	addN int // total pending inserts
 	delN int // total pending deletions
 }
+
+// pending returns the delta's total pending op count.
+func (d *odelta[K, V]) pending() int { return d.addN + d.delN }
 
 // NewOptimistic wraps an existing tree. The tree must not be used directly
 // afterwards: the facade owns it and replaces it wholesale on flush.
@@ -121,6 +151,7 @@ type odelta[K Key, V any] struct {
 func NewOptimistic[K Key, V any](t *Tree[K, V]) *Optimistic[K, V] {
 	o := &Optimistic[K, V]{}
 	o.flushAt.Store(DefaultFlushEvery)
+	o.maxFrozen.Store(DefaultMaxFrozenLayers)
 	o.asyncOff.Store(runtime.GOMAXPROCS(0) <= 1)
 	o.state.Store(&ostate[K, V]{tree: t, size: t.Len()})
 	return o
@@ -139,6 +170,23 @@ func (o *Optimistic[K, V]) SetFlushEvery(n int) {
 	o.flushAt.Store(int64(n))
 }
 
+// SetMaxFrozenLayers sets the frozen merge ladder's depth: how many
+// tripped deltas may queue for background merging at once. Depth 1
+// reproduces the single-frozen-slot pipeline (one in-flight merge;
+// writers that outrun it absorb into the active delta and then hit
+// backpressure), while deeper ladders let a write burst push several
+// deltas in O(1) each and leave the merging entirely to the background
+// compactor — backpressure applies only when all n slots are occupied.
+// The default is DefaultMaxFrozenLayers. Safe to change at any time; a
+// lowered depth drains naturally (existing layers still merge, new
+// pushes respect the new bound). Panics if n < 1.
+func (o *Optimistic[K, V]) SetMaxFrozenLayers(n int) {
+	if n < 1 {
+		panic("fitingtree: SetMaxFrozenLayers depth must be >= 1")
+	}
+	o.maxFrozen.Store(int64(n))
+}
+
 // SetAsyncFlush enables or disables the asynchronous flush pipeline
 // (enabled by default on a multi-processor runtime; see NewOptimistic).
 // Enabled, the writer that trips the flush threshold freezes the delta
@@ -151,17 +199,25 @@ func (o *Optimistic[K, V]) SetAsyncFlush(enabled bool) {
 	o.asyncOff.Store(!enabled)
 }
 
-// SyncFlush synchronously folds every pending write — the frozen delta
-// (if a background flush is in flight) and the active delta — into the
-// base tree and publishes the clean state. If the background flusher
-// completes its own merge of a delta this call already folded, its stale
+// BackpressureFolds returns the number of inline backpressure folds so
+// far: writes that tripped the flush threshold while the frozen ladder
+// was full and the active delta had grown past the backpressure bound,
+// forcing the writer to run the whole fold synchronously. A bursty
+// workload that keeps this counter flat at a given ladder depth is being
+// absorbed entirely by the background pipeline.
+func (o *Optimistic[K, V]) BackpressureFolds() uint64 { return o.bpFolds.Load() }
+
+// SyncFlush synchronously folds every pending write — the whole frozen
+// ladder (if background merges are in flight) and the active delta — into
+// the base tree and publishes the clean state. If the background worker
+// completes its own merge of layers this call already folded, its stale
 // publication is discarded. Afterwards the published state has no pending
 // deltas; concurrent writers may of course add new ones immediately.
 func (o *Optimistic[K, V]) SyncFlush() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st := o.state.Load()
-	if st.frozen == nil && st.delta == nil {
+	if len(st.frozen) == 0 && st.delta == nil {
 		return
 	}
 	o.publish(&ostate[K, V]{tree: st.fold(), size: st.size})
@@ -192,7 +248,7 @@ func (o *Optimistic[K, V]) Lookup(k K) (V, bool) {
 	// and the extra call costs measurable latency on the hottest path.
 	var val V
 	var ok bool
-	if st.delta == nil && st.frozen == nil {
+	if st.delta == nil && len(st.frozen) == 0 {
 		val, ok = st.tree.Lookup(k)
 	} else {
 		val, ok = st.lookup(k)
@@ -214,8 +270,8 @@ func (o *Optimistic[K, V]) Contains(k K) bool {
 
 // Each calls fn for every element with key exactly k against one
 // consistent snapshot: base-tree matches first (in page order), then
-// pending inserts in insertion order. Writes published while the scan runs
-// are not observed by it.
+// pending inserts layer by layer in insertion order. Writes published
+// while the scan runs are not observed by it.
 func (o *Optimistic[K, V]) Each(k K, fn func(v V) bool) {
 	o.state.Load().each(k, fn)
 }
@@ -236,34 +292,52 @@ func (o *Optimistic[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
 func (o *Optimistic[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	st := o.state.Load()
 	vals, found := st.tree.LookupBatch(keys)
-	if st.delta == nil && st.frozen == nil {
+	if st.delta == nil && len(st.frozen) == 0 {
 		return vals, found
 	}
 	for i, k := range keys {
-		ai, aok := st.delta.find(k)
-		fi, fok := st.frozen.find(k)
-		if !aok && !fok {
+		if !st.inAnyLayer(k) {
 			continue // the base-tree batch result stands
 		}
-		// Resolve from the delta indices already in hand instead of
-		// re-running a full point lookup (st.lookup would redo both
-		// delta searches before its page walk).
-		vals[i], found[i] = st.resolve(k, fi, fok, ai, aok)
+		vals[i], found[i] = st.lookup(k)
 	}
 	return vals, found
+}
+
+// inAnyLayer reports whether any delta layer has an entry for k. The
+// active delta is probed first: under a write-heavy load it is the layer
+// most likely to mention a recently touched key.
+func (st *ostate[K, V]) inAnyLayer(k K) bool {
+	if _, ok := st.delta.find(k); ok {
+		return true
+	}
+	for _, d := range st.frozen {
+		if _, ok := d.find(k); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // Len returns the number of stored elements, including pending inserts.
 func (o *Optimistic[K, V]) Len() int { return o.state.Load().size }
 
 // Stats returns the base tree's statistics with Elements and Buffered
-// adjusted for pending delta writes.
+// adjusted for pending delta writes across every layer: Buffered sums the
+// pending inserts of the whole frozen ladder plus the active delta,
+// FrozenLayers reports the ladder's current depth, and LayerPending each
+// frozen layer's pending op count, bottom to top.
 func (o *Optimistic[K, V]) Stats() Stats {
 	st := o.state.Load()
 	s := st.tree.Stats()
 	s.Elements = st.size
-	if st.frozen != nil {
-		s.Buffered += st.frozen.addN
+	s.FrozenLayers = len(st.frozen)
+	if len(st.frozen) > 0 {
+		s.LayerPending = make([]int, len(st.frozen))
+		for i, d := range st.frozen {
+			s.Buffered += d.addN
+			s.LayerPending[i] = d.pending()
+		}
 	}
 	if st.delta != nil {
 		s.Buffered += st.delta.addN
@@ -293,16 +367,17 @@ func (o *Optimistic[K, V]) Insert(k K, v V) {
 // is consumed first, newest first. Otherwise the delta records one more
 // tombstone for k, and tombstones count matches in scan order — the first
 // N matches that Each(k, ...) would visit (page order along the chain,
-// page data before buffered inserts within a page, then frozen pending
-// inserts) are treated as removed. Flushing preserves exactly this
-// accounting, so which of several duplicates disappears is deterministic
-// given the scan order and the flush points, unlike Tree.Delete, which
-// removes whichever duplicate its page search finds first. Note that with
-// the asynchronous flusher enabled (the default), *when* a pending insert
-// stops being consumable — because a freeze moved it into the frozen
-// delta — depends on background flush timing, so among duplicates holding
-// distinct values the victim can vary from run to run; workloads that
-// need a deterministic victim should disable async flushing
+// page data before buffered inserts within a page, then each frozen
+// layer's pending inserts, bottom to top) are treated as removed.
+// Flushing preserves exactly this accounting, so which of several
+// duplicates disappears is deterministic given the scan order and the
+// flush points, unlike Tree.Delete, which removes whichever duplicate its
+// page search finds first. Note that with the asynchronous flusher
+// enabled (the default), *when* a pending insert stops being consumable —
+// because a freeze pushed it onto the frozen ladder — depends on
+// background flush timing, so among duplicates holding distinct values
+// the victim can vary from run to run; workloads that need a
+// deterministic victim should disable async flushing
 // (SetAsyncFlush(false)) or quiesce with SyncFlush before deleting.
 func (o *Optimistic[K, V]) Delete(k K) bool {
 	// Same guard as Insert: a NaN key compares false against everything,
@@ -322,12 +397,14 @@ func (o *Optimistic[K, V]) Delete(k K) bool {
 }
 
 // SetFlushHook registers fn to run after every publication that installs
-// a new base tree — an inline fold, a background merge, a SyncFlush — on
-// whichever goroutine performed it. The durability layer uses it as its
-// checkpoint trigger: a new base tree means dirty chunks exist to persist.
-// fn runs with the writer mutex held, so it must not block or call back
-// into this facade's write path; hand real work to another goroutine.
-// SetFlushHook(nil) unregisters.
+// a new base tree — an inline fold, a background fold of the ladder's
+// bottom layer, a SyncFlush — on whichever goroutine performed it.
+// Ladder compactions merge frozen layers into each other without touching
+// the base tree, so they do not fire the hook. The durability layer uses
+// it as its checkpoint trigger: a new base tree means dirty chunks exist
+// to persist. fn runs with the writer mutex held, so it must not block or
+// call back into this facade's write path; hand real work to another
+// goroutine. SetFlushHook(nil) unregisters.
 func (o *Optimistic[K, V]) SetFlushHook(fn func()) {
 	if fn == nil {
 		o.flushHook.Store(nil)
@@ -351,26 +428,28 @@ func (o *Optimistic[K, V]) publish(next *ostate[K, V]) {
 	}
 }
 
-// publishWrite publishes a writer's next state and, when it carries a
-// frozen delta, makes sure a background flush worker is live to merge it.
-// The kick must follow the publish: a worker spawned first could load the
-// pre-freeze state, find no frozen delta, and exit. Callers hold o.mu.
+// publishWrite publishes a writer's next state and, when it carries
+// frozen layers, makes sure a background flush worker is live to drain
+// them. The kick must follow the publish: a worker spawned first could
+// load the pre-freeze state, find an empty ladder, and exit. Callers hold
+// o.mu.
 func (o *Optimistic[K, V]) publishWrite(next *ostate[K, V]) {
 	o.publish(next)
-	if next.frozen != nil {
+	if len(next.frozen) > 0 {
 		o.kick()
 	}
 }
 
 // maybeFlush decides what happens once enough writes are pending. In
-// asynchronous mode (the default) the active delta is frozen — handed to
-// the background flusher as an immutable flush input — and a fresh active
-// delta takes new writes, so the tripping writer pays O(1) instead of the
-// merge. If a frozen delta is still in flight, writers keep absorbing
-// writes until the backpressure bound, then fall back to a synchronous
-// inline fold of both deltas. In inline mode (SetAsyncFlush(false)) the
-// fold always runs on the tripping writer. Either way the fold is the
-// page-granular copy-on-write merge: the delta already is a sorted op
+// asynchronous mode (the default) the active delta is pushed onto the
+// frozen ladder — an O(1) slice append handing it to the background
+// worker as an immutable merge input — and a fresh active delta takes new
+// writes. Only when the ladder is full (SetMaxFrozenLayers) do writers
+// keep absorbing writes into the active delta, and only past the
+// backpressure bound does the tripping writer fall back to a synchronous
+// inline fold of the whole ladder. In inline mode (SetAsyncFlush(false))
+// the fold always runs on the tripping writer. Either way the fold is the
+// page-granular copy-on-write merge: each delta already is a sorted op
 // list (keys ascending, adds in insertion order, tombstone counts), and
 // MergeCOW rebuilds only the pages those keys fall into while the new
 // state shares every other page with the old one — O(delta · pages
@@ -384,27 +463,34 @@ func (o *Optimistic[K, V]) maybeFlush(st *ostate[K, V]) *ostate[K, V] {
 	// check: with two loads, a concurrent SetFlushEvery could yield a
 	// backpressure bound inconsistent with the threshold that tripped.
 	flushAt := o.flushAt.Load()
-	pending := int64(d.addN + d.delN)
+	pending := int64(d.pending())
 	if pending < flushAt {
 		return st
 	}
 	if o.asyncOff.Load() {
-		// Inline mode. A frozen delta can linger from a just-disabled
-		// pipeline; fold it below the active delta, same layering as reads.
+		// Inline mode. Frozen layers can linger from a just-disabled
+		// pipeline; fold them below the active delta, same layering as
+		// reads.
 		return &ostate[K, V]{tree: st.fold(), size: st.size}
 	}
-	if st.frozen == nil {
-		// Freeze: the active delta becomes the flush input, new writes go
-		// to a fresh active delta. publishWrite kicks the flusher.
-		return &ostate[K, V]{tree: st.tree, frozen: d, size: st.size}
+	if len(st.frozen) < int(o.maxFrozen.Load()) {
+		// Push: the active delta becomes the ladder's newest layer, new
+		// writes go to a fresh active delta. The three-index append
+		// always copies the spine, so published ladders never share a
+		// backing array with a longer successor. publishWrite kicks the
+		// worker.
+		frozen := append(st.frozen[:len(st.frozen):len(st.frozen)], d)
+		return &ostate[K, V]{tree: st.tree, frozen: frozen, size: st.size}
 	}
 	if pending < flushAt*FlushBackpressureFactor {
-		return st // flusher busy; keep absorbing writes
+		return st // ladder full; keep absorbing writes
 	}
-	// Backpressure: the flusher is lagging and the active delta has grown
-	// past the bound. Fold both deltas synchronously so pending state
-	// cannot grow without limit; the flusher's stale merge is discarded
-	// when it fails the frozen-identity check at publication.
+	// Backpressure: the worker is lagging with every ladder slot occupied
+	// and the active delta has grown past the bound. Fold everything
+	// synchronously so pending state cannot grow without limit; the
+	// worker's stale merge is discarded when it fails the layer-identity
+	// check at publication.
+	o.bpFolds.Add(1)
 	return &ostate[K, V]{tree: st.fold(), size: st.size}
 }
 
@@ -418,47 +504,136 @@ func (o *Optimistic[K, V]) kick() {
 	}
 }
 
-// flushWorker drains the frozen-delta slot: it merges off-thread with no
-// lock held, then briefly takes the writer mutex to publish. The state
-// may have moved while it merged (writers appended to the active delta,
-// or a SyncFlush / backpressure fold consumed the frozen delta); the
-// frozen-identity check below keeps only merges that are still current —
-// a same frozen pointer implies a same base tree, because every path
-// that replaces the tree also clears the frozen slot.
+// flushWorker drains the frozen ladder. Each round it either compacts the
+// bottom-most adjacent pair of frozen layers into one (size-tiered: while
+// the lower layer is within compactTierFactor of the upper and the
+// combined layer stays under the backpressure bound) or folds the bottom
+// layer into the base tree — so tree folds batch several deltas' worth of
+// writes while the ladder keeps absorbing pushes. All merging runs with
+// no lock held; the worker briefly takes the writer mutex to publish, and
+// layer-pointer identity checks (ladder slices are immutable, so a layer
+// pointer at a stable index identifies the merge input) discard results
+// whose inputs a SyncFlush or backpressure fold consumed meanwhile.
+// Writer pushes only append above the layers being merged, so they never
+// invalidate an in-flight round.
 func (o *Optimistic[K, V]) flushWorker() {
 	defer o.workers.Done()
 	for {
 		st := o.state.Load()
-		if st.frozen == nil {
+		if len(st.frozen) == 0 {
 			o.flusher.Store(false)
-			// A freeze published between the load above and the store may
+			// A push published between the load above and the store may
 			// have seen this worker as live and skipped its kick; re-check
 			// and re-claim the worker slot if so.
-			if o.state.Load().frozen != nil && o.flusher.CompareAndSwap(false, true) {
+			if len(o.state.Load().frozen) > 0 && o.flusher.CompareAndSwap(false, true) {
 				continue
 			}
 			return
 		}
-		merged := st.tree.MergeCOW(st.frozen.ops())
-		o.mu.Lock()
-		if cur := o.state.Load(); cur.frozen == st.frozen {
-			o.publish(&ostate[K, V]{tree: merged, delta: cur.delta, size: cur.size})
+		if i := compactPick(st.frozen, o.flushAt.Load()); i >= 0 {
+			o.compactPair(st, i)
+		} else {
+			o.foldBottom(st)
 		}
-		o.mu.Unlock()
 	}
 }
 
-// fold returns the state's base tree with both pending deltas physically
-// merged in, frozen layer first — the same layering reads apply.
+// compactPick returns the index of the bottom-most adjacent frozen pair
+// the scheduler would compact, or -1 when the bottom layer should fold
+// into the base tree instead. Compacting keeps a layer out of the tree —
+// a frozen-to-frozen merge costs O(layer) flat array work instead of a
+// page-granular tree pass — so it wins while layers are of comparable
+// size; once the lower layer outgrows compactTierFactor times the upper
+// or the pair would exceed the backpressure bound, folding is the better
+// deal.
+func compactPick[K Key, V any](frozen []*odelta[K, V], flushAt int64) int {
+	limit := int(flushAt) * FlushBackpressureFactor
+	for i := 0; i+1 < len(frozen); i++ {
+		lo, up := frozen[i].pending(), frozen[i+1].pending()
+		if lo <= compactTierFactor*up && lo+up <= limit {
+			return i
+		}
+	}
+	return -1
+}
+
+// compactPair merges frozen layers i and i+1 into a single layer off-lock
+// and publishes the shortened ladder. The merge inputs are identified by
+// layer pointer: a concurrent SyncFlush or backpressure fold that
+// consumed them fails the check and the round's work is discarded.
+func (o *Optimistic[K, V]) compactPair(st *ostate[K, V], i int) {
+	combined := st.compactLayers(i)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cur := o.state.Load()
+	if cur.tree != st.tree || len(cur.frozen) <= i+1 ||
+		cur.frozen[i] != st.frozen[i] || cur.frozen[i+1] != st.frozen[i+1] {
+		return
+	}
+	frozen := make([]*odelta[K, V], 0, len(cur.frozen)-1)
+	frozen = append(frozen, cur.frozen[:i]...)
+	if combined.pending() > 0 {
+		frozen = append(frozen, combined)
+	}
+	frozen = append(frozen, cur.frozen[i+2:]...)
+	if len(frozen) == 0 {
+		frozen = nil
+	}
+	o.publish(&ostate[K, V]{tree: cur.tree, frozen: frozen, delta: cur.delta, size: cur.size})
+}
+
+// compactLayers composes frozen layers i and i+1 into one delta whose
+// tombstone accounting is relative to the view beneath layer i, using
+// CompactOps. The beneath-view match count it needs for tombstone-spill
+// decisions is computed against tree ⊕ frozen[0..i-1], the exact view
+// layer i's own tombstones are relative to.
+func (st *ostate[K, V]) compactLayers(i int) *odelta[K, V] {
+	countBeneath := func(k K, limit int) int {
+		f := st.tree.Each
+		for _, d := range st.frozen[:i] {
+			f = overlayEach(f, d)
+		}
+		n := 0
+		f(k, func(V) bool {
+			n++
+			return n < limit
+		})
+		return n
+	}
+	ops := core.CompactOps(st.frozen[i].ops(), st.frozen[i+1].ops(), countBeneath)
+	return deltaFromOps(ops)
+}
+
+// foldBottom merges the ladder's bottom layer into the base tree off-lock
+// and publishes the result, identified by layer pointer like compactPair.
+func (o *Optimistic[K, V]) foldBottom(st *ostate[K, V]) {
+	merged := st.tree.MergeCOW(st.frozen[0].ops())
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cur := o.state.Load()
+	if cur.tree != st.tree || len(cur.frozen) == 0 || cur.frozen[0] != st.frozen[0] {
+		return
+	}
+	// Ladder slices are immutable, so the published remainder can share
+	// the current slice's backing array.
+	frozen := cur.frozen[1:]
+	if len(frozen) == 0 {
+		frozen = nil
+	}
+	o.publish(&ostate[K, V]{tree: merged, frozen: frozen, delta: cur.delta, size: cur.size})
+}
+
+// fold returns the state's base tree with every pending delta physically
+// merged in, bottom frozen layer first — the same layering reads apply.
 func (st *ostate[K, V]) fold() *Tree[K, V] {
-	var frozen, active []core.MergeOp[K, V]
-	if st.frozen != nil {
-		frozen = st.frozen.ops()
+	layers := make([][]core.MergeOp[K, V], 0, len(st.frozen)+1)
+	for _, d := range st.frozen {
+		layers = append(layers, d.ops())
 	}
 	if st.delta != nil {
-		active = st.delta.ops()
+		layers = append(layers, st.delta.ops())
 	}
-	return st.tree.MergeCOW2(frozen, active)
+	return st.tree.MergeCOWN(layers...)
 }
 
 // ops converts the delta into MergeCOW's sorted op-list form.
@@ -470,63 +645,89 @@ func (d *odelta[K, V]) ops() []core.MergeOp[K, V] {
 	return ops
 }
 
-// lookup resolves a point read against this state.
-func (st *ostate[K, V]) lookup(k K) (V, bool) {
-	ai, aok := st.delta.find(k)
-	fi, fok := st.frozen.find(k)
-	if !aok && !fok {
-		return st.tree.Lookup(k)
+// deltaFromOps builds a delta from a sorted op list (CompactOps output).
+func deltaFromOps[K Key, V any](ops []core.MergeOp[K, V]) *odelta[K, V] {
+	d := &odelta[K, V]{
+		keys: make([]K, len(ops)),
+		adds: make([][]V, len(ops)),
+		dels: make([]int, len(ops)),
 	}
-	return st.resolve(k, fi, fok, ai, aok)
+	for i, op := range ops {
+		d.keys[i] = op.Key
+		d.adds[i] = op.Adds
+		d.dels[i] = op.Dels
+		d.addN += len(op.Adds)
+		d.delN += op.Dels
+	}
+	return d
 }
 
-// resolve returns a live value for k given both deltas' search results —
-// the newest pending insert when one survives, else the first surviving
-// match of the layered view. Callers pass the indices find returned so
-// the binary searches are not repeated.
-func (st *ostate[K, V]) resolve(k K, fi int, fok bool, ai int, aok bool) (V, bool) {
-	skipA := 0
-	if aok {
-		if adds := st.delta.adds[ai]; len(adds) > 0 {
-			return adds[len(adds)-1], true
+// lookup resolves a point read against this state's full layer stack.
+func (st *ostate[K, V]) lookup(k K) (V, bool) {
+	// Collect the per-layer entries for k, bottom (oldest frozen layer)
+	// to top (active delta). Most lookups miss every layer and fall
+	// through to the plain tree read.
+	type layerEntry struct {
+		dels int
+		adds []V
+	}
+	entries := make([]layerEntry, 0, 8)
+	totalDels := 0
+	hit := false
+	collect := func(d *odelta[K, V]) {
+		var e layerEntry
+		if i, ok := d.find(k); ok {
+			e.dels, e.adds = d.dels[i], d.adds[i]
+			hit = true
 		}
-		skipA = st.delta.dels[ai]
+		entries = append(entries, e)
+		totalDels += e.dels
 	}
-	skipF := 0
-	var addsF []V
-	if fok {
-		skipF, addsF = st.frozen.dels[fi], st.frozen.adds[fi]
+	for _, d := range st.frozen {
+		collect(d)
 	}
-	if skipA == 0 && len(addsF) > 0 {
-		// No active tombstones, so the newest frozen add survives.
-		return addsF[len(addsF)-1], true
+	if st.delta != nil {
+		collect(st.delta)
 	}
-	// First survivor of the layered view: the base match past the frozen
-	// tombstones and then the active ones (active tombstones consume base
-	// survivors before frozen adds).
-	target := skipF + skipA
-	var val V
-	found := false
-	n := 0
+	if !hit {
+		return st.tree.Lookup(k)
+	}
+	// The newest add of the top layer survives unconditionally: no
+	// tombstone sits above it.
+	if top := entries[len(entries)-1]; len(top.adds) > 0 {
+		return top.adds[len(top.adds)-1], true
+	}
+	// General path: materialize only the base matches tombstones can
+	// reach — consumption across all layers is at most totalDels, so
+	// totalDels+1 matches pin the first survivor — then replay each layer
+	// bottom to top. A layer's tombstones consume base survivors first,
+	// then the oldest surviving adds of the layers beneath (scan order);
+	// its own adds stack on top, out of reach of anything below.
+	limit := totalDels + 1
+	base := make([]V, 0, min(limit, 4))
 	st.tree.Each(k, func(v V) bool {
-		if n == target {
-			val, found = v, true
-			return false
-		}
-		n++
-		return true
+		base = append(base, v)
+		return len(base) < limit
 	})
-	if found {
-		return val, true
+	var adds []V
+	for _, e := range entries {
+		drop := e.dels
+		if c := min(drop, len(base)); c > 0 {
+			base = base[c:]
+			drop -= c
+		}
+		if drop > 0 {
+			adds = adds[min(drop, len(adds)):]
+		}
+		if len(e.adds) > 0 {
+			adds = append(adds[:len(adds):len(adds)], e.adds...)
+		}
 	}
-	// Base matches exhausted at n (≤ target): the remaining active
-	// tombstones fall on the frozen adds.
-	surv := n - skipF
-	if surv < 0 {
-		surv = 0
+	if len(adds) > 0 {
+		return adds[len(adds)-1], true
 	}
-	if rem := skipA - surv; rem < len(addsF) {
-		return addsF[len(addsF)-1], true
+	if len(base) > 0 {
+		return base[0], true
 	}
 	var zero V
 	return zero, false
@@ -537,8 +738,8 @@ type eachFn[K Key, V any] func(k K, fn func(v V) bool)
 
 // overlayEach layers one delta over a per-key match sequence: tombstones
 // skip the head of the base sequence, pending inserts append after it.
-// Applying it twice — frozen over the tree, active over that — yields the
-// facade's full two-delta read protocol.
+// Applying it once per layer, bottom to top, yields the facade's full
+// N-layer read protocol.
 func overlayEach[K Key, V any](base eachFn[K, V], d *odelta[K, V]) eachFn[K, V] {
 	if d == nil {
 		return base
@@ -573,10 +774,23 @@ func overlayEach[K Key, V any](base eachFn[K, V], d *odelta[K, V]) eachFn[K, V] 
 	}
 }
 
+// beneathActive returns the match enumerator of the layer stack below the
+// active delta: surviving base-tree matches first, then each frozen
+// layer's surviving adds, bottom to top. It is the view the active
+// delta's tombstone counts are relative to.
+func (st *ostate[K, V]) beneathActive() eachFn[K, V] {
+	f := st.tree.Each
+	for _, d := range st.frozen {
+		f = overlayEach(f, d)
+	}
+	return f
+}
+
 // each visits every live element with key k: surviving base matches, then
-// frozen pending inserts, then active pending inserts.
+// each frozen layer's pending inserts bottom to top, then active pending
+// inserts.
 func (st *ostate[K, V]) each(k K, fn func(v V) bool) {
-	overlayEach(overlayEach(st.tree.Each, st.frozen), st.delta)(k, fn)
+	overlayEach(st.beneathActive(), st.delta)(k, fn)
 }
 
 // scanFn is an ordered range scan: it calls fn for every element with
@@ -586,7 +800,8 @@ type scanFn[K Key, V any] func(lo, hi K, fn func(k K, v V) bool)
 // overlayScan layers one delta over an ordered range scan: per key,
 // tombstones skip the head of the underlying match run and pending
 // inserts are emitted after it, with delta-only keys merged in key order.
-// Like overlayEach, two applications produce the two-delta protocol.
+// Like overlayEach, one application per layer produces the N-layer
+// protocol.
 func overlayScan[K Key, V any](base scanFn[K, V], d *odelta[K, V]) scanFn[K, V] {
 	if d == nil {
 		return base
@@ -642,11 +857,16 @@ func overlayScan[K Key, V any](base scanFn[K, V], d *odelta[K, V]) scanFn[K, V] 
 	}
 }
 
-// ascendRange merges the base-tree scan with both pending deltas in key
-// order: per key, surviving base matches first, then frozen pending
-// inserts, then active pending inserts, each in insertion order.
+// ascendRange merges the base-tree scan with every pending delta in key
+// order: per key, surviving base matches first, then each frozen layer's
+// pending inserts bottom to top, then active pending inserts, each in
+// insertion order.
 func (st *ostate[K, V]) ascendRange(lo, hi K, fn func(k K, v V) bool) {
-	overlayScan(overlayScan(st.tree.AscendRange, st.frozen), st.delta)(lo, hi, fn)
+	s := st.tree.AscendRange
+	for _, d := range st.frozen {
+		s = overlayScan(s, d)
+	}
+	overlayScan(s, st.delta)(lo, hi, fn)
 }
 
 // find returns the index of k in the delta, nil-safe.
@@ -675,8 +895,8 @@ func (d *odelta[K, V]) withInsert(k K, v V) *odelta[K, V] {
 // withDelete returns a copy of the state's active delta with one element
 // of key k removed, or ok=false when no live element with key k exists. A
 // pending insert in the active delta is consumed first; otherwise one
-// more match of the layered view (base tree, then frozen adds) is
-// tombstoned.
+// more match of the layered view beneath the active delta (base tree,
+// then each frozen layer's adds, bottom to top) is tombstoned.
 func (st *ostate[K, V]) withDelete(k K) (*odelta[K, V], bool) {
 	d := st.delta
 	i, found := d.find(k)
@@ -693,28 +913,21 @@ func (st *ostate[K, V]) withDelete(k K) (*odelta[K, V], bool) {
 	if found {
 		skip = d.dels[i]
 	}
-	// The new tombstone needs a live match in the layered view under the
-	// active delta: surviving base matches past the frozen tombstones,
-	// then frozen pending adds. Frozen adds are immutable (a background
-	// merge may be reading them), so even when the victim is a frozen add
-	// the delete is recorded as one more active tombstone — the "first N
-	// in scan order" accounting reaches through the frozen layer.
-	skipF, addsF := 0, 0
-	if fi, fok := st.frozen.find(k); fok {
-		skipF, addsF = st.frozen.dels[fi], len(st.frozen.adds[fi])
-	}
-	if addsF <= skip {
-		// Not enough frozen adds to cover the pending tombstones: at
-		// least skipF + (skip - addsF) + 1 base matches must exist.
-		need := skipF + (skip - addsF) + 1
-		n := 0
-		st.tree.Each(k, func(V) bool {
-			n++
-			return n < need
-		})
-		if n < need {
-			return nil, false
-		}
+	// The new tombstone needs a live match in the layered view beneath
+	// the active delta: surviving base matches, then each frozen layer's
+	// surviving adds, bottom to top. Frozen layers are immutable (a
+	// background merge may be reading them), so even when the victim is a
+	// frozen add the delete is recorded as one more active tombstone —
+	// the "first N in scan order" accounting reaches down through every
+	// layer.
+	need := skip + 1
+	n := 0
+	st.beneathActive()(k, func(V) bool {
+		n++
+		return n < need
+	})
+	if n < need {
+		return nil, false
 	}
 	nd := d.clone(i, !found)
 	nd.keys[i] = k

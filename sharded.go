@@ -69,6 +69,7 @@ type Sharded[K Key, V any] struct {
 
 	want         int           // target shard count
 	flushAt      atomic.Int64  // forwarded to every shard, current and future
+	maxFrozen    atomic.Int64  // forwarded to every shard, current and future
 	asyncOff     atomic.Bool   // forwarded to every shard, current and future
 	factor       atomic.Uint64 // rebalance skew factor (math.Float64bits)
 	writes       atomic.Uint64 // write counter gating the skew check
@@ -193,11 +194,13 @@ func NewSharded[K Key, V any](t *Tree[K, V], shards int) (*Sharded[K, V], error)
 	starts, weights := t.PageBounds()
 	s := &Sharded[K, V]{want: shards}
 	s.flushAt.Store(DefaultFlushEvery)
+	s.maxFrozen.Store(DefaultMaxFrozenLayers)
 	// Same adaptive default as NewOptimistic: async flushing needs a spare
 	// core to run the background merges on.
 	s.asyncOff.Store(runtime.GOMAXPROCS(0) <= 1)
 	s.factor.Store(math.Float64bits(DefaultRebalanceFactor))
-	ss, err := newShardSet(keys, vals, starts, weights, t.Options(), shards, 0, DefaultFlushEvery, !s.asyncOff.Load())
+	ss, err := newShardSet(keys, vals, starts, weights, t.Options(), shards, 0,
+		DefaultFlushEvery, DefaultMaxFrozenLayers, !s.asyncOff.Load())
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +212,7 @@ func NewSharded[K Key, V any](t *Tree[K, V], shards int) (*Sharded[K, V], error)
 // newShardSet partitions the sorted (keys, vals) run along fences chosen
 // by balancedFences and bulk-loads one shard per range.
 func newShardSet[K Key, V any](keys []K, vals []V, starts []K, weights []int,
-	opts Options, want int, versionBase uint64, flushAt int, async bool) (*shardSet[K, V], error) {
+	opts Options, want int, versionBase uint64, flushAt, maxFrozen int, async bool) (*shardSet[K, V], error) {
 	bounds := balancedFences(keys, starts, weights, want)
 	shards := make([]*Optimistic[K, V], len(bounds)+1)
 	lo := 0
@@ -224,6 +227,7 @@ func newShardSet[K Key, V any](keys []K, vals []V, starts []K, weights []int,
 		}
 		o := NewOptimistic(tr)
 		o.SetFlushEvery(flushAt)
+		o.SetMaxFrozenLayers(maxFrozen)
 		o.SetAsyncFlush(async)
 		shards[i] = o
 		lo = hi
@@ -246,6 +250,24 @@ func (s *Sharded[K, V]) SetFlushEvery(n int) {
 	s.flushAt.Store(int64(n))
 	for _, sh := range s.set.Load().shards {
 		sh.SetFlushEvery(n)
+	}
+}
+
+// SetMaxFrozenLayers sets the per-shard frozen merge ladder depth (see
+// Optimistic.SetMaxFrozenLayers). Safe to call at any time; shards created
+// by later rebalances inherit the value. Panics if n < 1.
+func (s *Sharded[K, V]) SetMaxFrozenLayers(n int) {
+	if n < 1 {
+		panic("fitingtree: SetMaxFrozenLayers depth must be >= 1")
+	}
+	// Same ordering argument as SetFlushEvery: the shared lock makes the
+	// new depth visible either to the rebalance building new shards or to
+	// this loop over the set it published.
+	s.reshape.RLock()
+	defer s.reshape.RUnlock()
+	s.maxFrozen.Store(int64(n))
+	for _, sh := range s.set.Load().shards {
+		sh.SetMaxFrozenLayers(n)
 	}
 }
 
@@ -360,7 +382,8 @@ func (s *Sharded[K, V]) Len() int {
 }
 
 // Stats aggregates the shards' statistics: counts and sizes sum, heights
-// take the maximum.
+// and the frozen-ladder depth take the maximum (per-layer pending counts
+// are per-shard and left unset — see Optimistic.Stats for them).
 func (s *Sharded[K, V]) Stats() Stats {
 	ss := s.set.Load()
 	var agg Stats
@@ -370,6 +393,9 @@ func (s *Sharded[K, V]) Stats() Stats {
 		agg.Pages += st.Pages
 		agg.Buffered += st.Buffered
 		agg.Deletes += st.Deletes
+		if st.FrozenLayers > agg.FrozenLayers {
+			agg.FrozenLayers = st.FrozenLayers
+		}
 		agg.IndexSize += st.IndexSize
 		agg.DataSize += st.DataSize
 		agg.Inner.Len += st.Inner.Len
@@ -623,7 +649,8 @@ func (s *Sharded[K, V]) rebalance() {
 		// Unreachable: ss.opts was normalized at construction.
 		panic(fmt.Sprintf("fitingtree: rebalance segmentation: %v", err))
 	}
-	ns, err := newShardSet(keys, vals, starts, weights, ss.opts, s.want, base, int(s.flushAt.Load()), !s.asyncOff.Load())
+	ns, err := newShardSet(keys, vals, starts, weights, ss.opts, s.want, base,
+		int(s.flushAt.Load()), int(s.maxFrozen.Load()), !s.asyncOff.Load())
 	if err != nil {
 		// Unreachable: the collected run is sorted and NaN-free.
 		panic(fmt.Sprintf("fitingtree: rebalance: %v", err))
