@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, recovery, burst, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, recovery, burst, strings, all")
 		n        = flag.Int("n", 1_000_000, "base dataset size")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		probes   = flag.Int("probes", 100_000, "lookup probes per measurement")
@@ -75,6 +75,9 @@ func main() {
 		"burst": func() {
 			writeBurstJSON(*jsonPath, cfg, bench.ExtBurst(os.Stdout, cfg))
 		},
+		"strings": func() {
+			writeStringsJSON(*jsonPath, cfg, bench.ExtStrings(os.Stdout, cfg))
+		},
 		"all": func() {
 			bench.AllButParallel(os.Stdout, cfg)
 			writeShardWriteJSON(suffixedPath(*jsonPath, "_shardwrite"), cfg, bench.ExtShardWrite(os.Stdout, cfg))
@@ -82,6 +85,7 @@ func main() {
 			writeFlushPubJSON(suffixedPath(*jsonPath, "_flushpub"), cfg, bench.ExtFlushPub(os.Stdout, cfg))
 			writeRecoveryJSON(suffixedPath(*jsonPath, "_recovery"), cfg, bench.ExtRecovery(os.Stdout, cfg))
 			writeBurstJSON(suffixedPath(*jsonPath, "_burst"), cfg, bench.ExtBurst(os.Stdout, cfg))
+			writeStringsJSON(suffixedPath(*jsonPath, "_strings"), cfg, bench.ExtStrings(os.Stdout, cfg))
 			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
 		},
 	}
@@ -91,9 +95,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "recovery": true, "burst": true, "all": true}
+	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "recovery": true, "burst": true, "strings": true, "all": true}
 	if *jsonPath != "" && !jsonExps[*exp] {
-		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, recovery, burst, or all\n")
+		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, recovery, burst, strings, or all\n")
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -181,6 +185,19 @@ func writeBurstJSON(path string, cfg bench.Config, points []bench.BurstPoint) {
 		Experiment: "burst",
 		N:          cfg.N,
 		FlushEvery: flushEvery,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	})
+}
+
+// writeStringsJSON writes the strings experiment's machine-readable
+// report to path; it is a no-op when path is empty.
+func writeStringsJSON(path string, cfg bench.Config, points []bench.StringsPoint) {
+	writeJSON(path, bench.StringsReport{
+		Experiment: "strings",
+		N:          cfg.N,
 		Seed:       cfg.Seed,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),

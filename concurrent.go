@@ -70,6 +70,15 @@ func (c *Concurrent[K, V]) Delete(k K) bool {
 	return c.t.Delete(k)
 }
 
+// DeleteValue removes one element with key k whose value equals v under
+// Go equality, reporting whether one was removed. It panics for
+// non-comparable value types.
+func (c *Concurrent[K, V]) DeleteValue(k K, v V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.DeleteValue(k, v)
+}
+
 // Len returns the number of stored elements.
 func (c *Concurrent[K, V]) Len() int {
 	c.mu.RLock()

@@ -161,18 +161,21 @@ func OpenDurable[K Key, V any](fsys wal.FS, dev pager.Device, opts Options) (*Du
 	// a long tail pushed through the ordinary insert path trips the flush
 	// threshold once per DefaultFlushEvery records and re-segments the
 	// same hot pages over and over, which dominates recovery. The buffer
-	// applies the write path's op semantics per key — a delete consumes
-	// the newest still-buffered insert for its key, else tombstones one
-	// more pre-existing match in scan order (every logged delete had a
-	// live victim when it was logged, and the WAL tail is a prefix-exact
-	// record of the ops that created it, so the tombstone count can never
+	// applies the write path's op semantics per key — an anonymous delete
+	// consumes the newest still-buffered insert for its key, else
+	// tombstones one more pre-existing match in scan order; a value
+	// delete consumes the newest still-buffered insert carrying its value,
+	// else records a value tombstone (every logged delete had a live
+	// victim when it was logged, and the WAL tail is a prefix-exact
+	// record of the ops that created it, so the tombstones can never
 	// exceed the checkpoint tree's matches) — then folds into the
 	// checkpoint tree with a single page-granular MergeCOW pass. Which of
-	// several distinct-valued duplicates a delete victimizes may differ
-	// from the original run's flush-timing-dependent choice; that choice
-	// was never acknowledged state (see Optimistic.Delete).
+	// several distinct-valued duplicates an anonymous delete victimizes
+	// may differ from the original run's flush-timing-dependent choice;
+	// that choice was never acknowledged state (see Optimistic.Delete). A
+	// value delete replays exactly: its record names the victim.
 	adds := make(map[K][]V)
-	dels := make(map[K]int)
+	tombs := make(map[K][]core.Tomb[V])
 	replayed := 0
 	for _, r := range records {
 		if r.LSN < replayFrom {
@@ -185,23 +188,39 @@ func OpenDurable[K Key, V any](fsys wal.FS, dev pager.Device, opts Options) (*Du
 			log.Close()
 			return nil, fmt.Errorf("fitingtree: wal replay lsn %d: %w", r.LSN, err)
 		}
-		if op == walOpInsert {
+		switch op {
+		case walOpInsert:
 			adds[k] = append(adds[k], v)
-		} else if a := adds[k]; len(a) > 0 {
-			adds[k] = a[:len(a)-1]
-		} else {
-			dels[k]++
+		case walOpDelete:
+			if a := adds[k]; len(a) > 0 {
+				adds[k] = a[:len(a)-1]
+			} else {
+				tombs[k] = append(tombs[k], core.Tomb[V]{Any: true})
+			}
+		default: // walOpDeleteValue
+			a := adds[k]
+			consumed := false
+			for j := len(a) - 1; j >= 0; j-- {
+				if any(a[j]) == any(v) {
+					adds[k] = append(a[:j:j], a[j+1:]...)
+					consumed = true
+					break
+				}
+			}
+			if !consumed {
+				tombs[k] = append(tombs[k], core.Tomb[V]{Val: v})
+			}
 		}
 		replayed++
 	}
 	if replayed > 0 {
-		keys := make([]K, 0, len(adds)+len(dels))
+		keys := make([]K, 0, len(adds)+len(tombs))
 		for k, a := range adds {
-			if len(a) > 0 || dels[k] > 0 {
+			if len(a) > 0 || len(tombs[k]) > 0 {
 				keys = append(keys, k)
 			}
 		}
-		for k := range dels {
+		for k := range tombs {
 			if _, ok := adds[k]; !ok {
 				keys = append(keys, k)
 			}
@@ -209,7 +228,20 @@ func OpenDurable[K Key, V any](fsys wal.FS, dev pager.Device, opts Options) (*Du
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		ops := make([]core.MergeOp[K, V], len(keys))
 		for i, k := range keys {
-			ops[i] = core.MergeOp[K, V]{Key: k, Adds: adds[k], Dels: dels[k]}
+			ops[i] = core.MergeOp[K, V]{Key: k, Adds: adds[k]}
+			// Pure-anonymous lists collapse to the counted fast path.
+			anyOnly := true
+			for _, t := range tombs[k] {
+				if !t.Any {
+					anyOnly = false
+					break
+				}
+			}
+			if anyOnly {
+				ops[i].Dels = len(tombs[k])
+			} else {
+				ops[i].Tombs = tombs[k]
+			}
 		}
 		tree = tree.MergeCOW(ops)
 	}
@@ -354,6 +386,42 @@ func (d *Durable[K, V]) Delete(k K) (bool, error) {
 		return false, err
 	}
 	d.opt.Delete(k)
+	return true, d.maybeSync()
+}
+
+// DeleteValue removes one element with key k whose value equals v under
+// Go equality (Optimistic.DeleteValue's flush-timing-independent victim
+// semantics), reporting whether one was removed. The WAL record carries
+// the concrete key and value, so replay re-derives exactly the same
+// victim. Durability matches Insert. Panics on a NaN key and for
+// non-comparable value types.
+func (d *Durable[K, V]) DeleteValue(k K, v V) (bool, error) {
+	if k != k {
+		panic("fitingtree: DeleteValue with NaN key")
+	}
+	payload, err := d.codec.encodeOp(walOpDeleteValue, k, v)
+	if err != nil {
+		return false, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Probe first so no-op deletes are not logged; d.mu serializes all
+	// writers, so the answer cannot change before the apply below.
+	found := false
+	d.opt.Each(k, func(w V) bool {
+		if any(w) == any(v) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return false, nil
+	}
+	if _, err := d.log.Append(payload); err != nil {
+		return false, err
+	}
+	d.opt.DeleteValue(k, v)
 	return true, d.maybeSync()
 }
 

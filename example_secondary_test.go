@@ -1,0 +1,77 @@
+package fitingtree_test
+
+import (
+	"fmt"
+
+	"fitingtree"
+)
+
+// ExampleBuildSecondary indexes the unsorted key column of a small heap
+// table, queries postings by key and by range, and maintains the index as
+// rows are appended and removed — the non-clustered scenario of the
+// paper's Section 2.2.1 (Figure 3).
+func ExampleBuildSecondary() {
+	// An unsorted heap table; column is the indexed attribute.
+	table := []string{"seattle", "tokyo", "oslo", "lima", "tokyo-2"}
+	column := []uint64{47, 35, 59, 12, 35}
+
+	idx, err := fitingtree.BuildSecondary(column, fitingtree.Options{Error: 4, BufferSize: 2})
+	if err != nil {
+		panic(err)
+	}
+
+	// Exact match with duplicates: both rows at latitude 35.
+	for _, row := range idx.Rows(35) {
+		fmt.Println("lat 35:", table[row])
+	}
+
+	// Range scan in key order; row fetches are random heap accesses.
+	idx.RangeRows(40, 60, func(k uint64, row int) bool {
+		fmt.Printf("lat %d: %s\n", k, table[row])
+		return true
+	})
+
+	// Appending a row updates the index incrementally; deleting names the
+	// exact posting, so the other latitude-35 rows are untouched.
+	table = append(table, "osaka")
+	idx.Insert(35, len(table)-1)
+	idx.Delete(35, 1)
+	fmt.Println("rows at 35:", len(idx.Rows(35)))
+
+	// Output:
+	// lat 35: tokyo
+	// lat 35: tokyo-2
+	// lat 47: seattle
+	// lat 59: oslo
+	// rows at 35: 2
+}
+
+// ExampleNewSecondary maintains a secondary index under concurrent
+// writes: the backend is a Sharded tree, so posting inserts and deletes
+// from many goroutines proceed in parallel while readers scan.
+func ExampleNewSecondary() {
+	empty, err := fitingtree.BulkLoad[uint64, int](nil, nil, fitingtree.Options{Error: 16})
+	if err != nil {
+		panic(err)
+	}
+	backend, err := fitingtree.NewSharded(empty, 4)
+	if err != nil {
+		panic(err)
+	}
+	defer backend.Close()
+	idx := fitingtree.NewSecondary[uint64, int](backend)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for row := 0; row < 1000; row++ {
+			idx.Insert(uint64(row%100), row)
+		}
+	}()
+	<-done
+	// Every key 0..99 now posts exactly 10 rows.
+	fmt.Println("postings:", idx.Len(), "rows at key 7:", len(idx.Rows(7)))
+
+	// Output:
+	// postings: 1000 rows at key 7: 10
+}

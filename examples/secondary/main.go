@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
 
 	"fitingtree"
 	"fitingtree/internal/workload"
@@ -80,9 +81,39 @@ func main() {
 	}
 	fmt.Printf("new row indexed: %v\n", found)
 
-	// Deleting a specific posting.
+	// Deleting a specific posting. Delete names the exact (key, row)
+	// pair, so among duplicate keys no other row's posting can be the
+	// victim.
 	if !idx.Delete(0.5, len(table)-1) {
 		log.Fatal("delete of posting failed")
 	}
 	fmt.Println("posting deleted")
+
+	// Maintenance under concurrent writes: the same index API over a
+	// Sharded backend takes posting updates from many goroutines while
+	// readers scan. NewSecondary accepts any backend satisfying
+	// fitingtree.Index — plain Tree, Concurrent, Optimistic, or Sharded.
+	empty, err := fitingtree.BulkLoad[float64, int](nil, nil, fitingtree.Options{Error: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards, err := fitingtree.NewSharded(empty, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shards.Close()
+	live := fitingtree.NewSecondary[float64, int](shards)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				live.Insert(column[i], i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("concurrently built index: %d postings, %d rows at lon=%.6f\n",
+		live.Len(), len(live.Rows(probe)), probe)
 }

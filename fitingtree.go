@@ -103,19 +103,9 @@ type Stats = core.Stats
 // Counters reports maintenance activity (inserts, merges, pages created).
 type Counters = core.Counters
 
-// Secondary is a non-clustered FITing-Tree over an attribute of an
-// unsorted heap table; it maps keys to row ids.
-type Secondary[K Key] = core.Secondary[K]
-
 // BulkLoad builds a FITing-Tree over sorted keys (duplicates allowed) and
 // parallel values using the paper's one-pass segmentation. The input is
 // copied.
 func BulkLoad[K Key, V any](keys []K, vals []V, opts Options) (*Tree[K, V], error) {
 	return core.BulkLoad(keys, vals, opts)
-}
-
-// BuildSecondary creates a non-clustered index over an unsorted column;
-// the posting stored for column[i] is row id i.
-func BuildSecondary[K Key](column []K, opts Options) (*Secondary[K], error) {
-	return core.BuildSecondary(column, opts)
 }

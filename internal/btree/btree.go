@@ -180,10 +180,33 @@ func (t *Tree[K, V]) Height() int { return t.height }
 // call per probe on the descent path of every Get/Floor/Insert.
 func search[K num.Key, V any](n *node[K, V], k K) int {
 	keys := n.keys
+	if ks, isStr := any(keys).([]string); isStr {
+		return searchString(ks, any(k).(string))
+	}
 	lo, hi := 0, len(keys)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchString is search for string keys. Each probe compares 8-byte
+// big-endian prefixes first (weakly monotone, so an unequal prefix pair
+// decides the order) and pays the full byte-wise comparison only on a
+// prefix tie — ordered-bytes codec keys resolve almost every probe with
+// one integer compare instead of a runtime string-compare call.
+func searchString(keys []string, k string) int {
+	kp := num.StringPrefix(k)
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		mp := num.StringPrefix(keys[mid])
+		if mp < kp || (mp == kp && keys[mid] <= k) {
 			lo = mid + 1
 		} else {
 			hi = mid

@@ -145,6 +145,8 @@ func AssembleChunks[K num.Key, V any](snaps []ChunkSnap[K, V], opts Options) (*T
 				seg:     ps.Seg,
 				keys:    ps.Keys,
 				vals:    ps.Vals,
+				pref:    stringPrefixes(ps.Keys),
+				fixed8:  allLen8(ps.Keys),
 				bufKeys: ps.BufKeys,
 				bufVals: ps.BufVals,
 				deletes: ps.Deletes,

@@ -4,27 +4,33 @@ import "fitingtree/internal/num"
 
 // CompactOps composes two adjacent delta layers into a single op list
 // with the same meaning as applying lower and then upper: the result's
-// tombstone counts are relative to the view beneath lower, exactly as
-// lower's were, so MergeCOW(CompactOps(lower, upper, count)) publishes
-// the same content as MergeCOW2(lower, upper). Both inputs must be
-// sorted by strictly ascending Key (MergeOp form); the output is too.
+// tombstones are relative to the view beneath lower, exactly as lower's
+// were, so MergeCOW(CompactOps(lower, upper, each)) publishes the same
+// content as MergeCOW2(lower, upper). Both inputs must be sorted by
+// strictly ascending Key (MergeOp form); the output is too.
 //
 // The composition is per-key arithmetic except for one case that needs
 // the tree: upper's tombstones consume, in scan order, the base matches
 // that survive lower's tombstones *before* they consume lower's adds.
 // When upper deletes under a key where lower also has pending adds, the
-// split between "more base tombstones" and "drop lower's oldest adds"
-// depends on how many live base matches exist beneath lower. countBeneath
-// reports that number for a key, counting at most limit matches (the
-// composition never needs more than lower.Dels+upper.Dels, so the
-// callback can stop early); it is consulted only for such ambiguous keys.
-// When lower has no adds, every upper tombstone must land on a base match
-// — the write path only records a tombstone when a live victim exists
-// beneath it, and compactions preserve content — so no count is needed.
+// split between "more base tombstones" and "drop lower's pending adds"
+// depends on the live base matches beneath lower. eachBeneath streams
+// those matches for a key, in scan order, until fn returns false; it is
+// consulted only for such ambiguous keys. In the counted form the
+// composition only needs the number of matches (capped, so the callback
+// stops early); when either layer carries value tombstones (MergeOp.Tombs)
+// it applies lower's list to the materialized matches and streams upper's
+// list over survivors-then-adds, cancelling each upper entry that lands
+// on a lower add against that add and appending the entries that land on
+// base to the composed list — preserving the recorded order of lower's
+// tombstones before upper's. When lower has no adds, every upper
+// tombstone must land on a base match — the write path only records a
+// tombstone when a live victim exists beneath it, and compactions
+// preserve content — so no enumeration is needed.
 //
 // Keys whose composed entry carries no adds and no tombstones (an insert
 // fully cancelled by a later delete) are dropped from the result.
-func CompactOps[K num.Key, V any](lower, upper []MergeOp[K, V], countBeneath func(k K, limit int) int) []MergeOp[K, V] {
+func CompactOps[K num.Key, V any](lower, upper []MergeOp[K, V], eachBeneath func(k K, fn func(V) bool)) []MergeOp[K, V] {
 	out := make([]MergeOp[K, V], 0, len(lower)+len(upper))
 	i, j := 0, 0
 	for i < len(lower) || j < len(upper) {
@@ -39,40 +45,142 @@ func CompactOps[K num.Key, V any](lower, upper []MergeOp[K, V], countBeneath fun
 			lo, up := lower[i], upper[j]
 			i++
 			j++
-			// consumed is how many of upper's tombstones land on base
-			// matches (they add to the composed tombstone count); the
-			// excess lands on lower's oldest pending adds instead.
-			consumed := up.Dels
-			excess := 0
-			if up.Dels > 0 && len(lo.Adds) > 0 {
-				base := countBeneath(lo.Key, lo.Dels+up.Dels)
-				survivors := base - lo.Dels
-				if survivors < 0 {
-					survivors = 0
-				}
-				if consumed > survivors {
-					consumed = survivors
-				}
-				excess = up.Dels - consumed
-				if excess > len(lo.Adds) {
-					// More tombstones than victims would violate the
-					// write path's victim-exists invariant; clamp so a
-					// malformed input cannot panic the slice below.
-					excess = len(lo.Adds)
-				}
+			var op MergeOp[K, V]
+			if len(lo.Tombs) > 0 || len(up.Tombs) > 0 {
+				op = composeTombs(lo, up, eachBeneath)
+			} else {
+				op = composeCounts(lo, up, eachBeneath)
 			}
-			adds := lo.Adds[excess:]
-			if len(up.Adds) > 0 {
-				merged := make([]V, 0, len(adds)+len(up.Adds))
-				merged = append(merged, adds...)
-				merged = append(merged, up.Adds...)
-				adds = merged
-			}
-			op := MergeOp[K, V]{Key: lo.Key, Adds: adds, Dels: lo.Dels + consumed}
-			if op.Dels > 0 || len(op.Adds) > 0 {
+			if op.Dels > 0 || len(op.Tombs) > 0 || len(op.Adds) > 0 {
 				out = append(out, op)
 			}
 		}
 	}
 	return out
+}
+
+// composeCounts composes one key's entries when both layers use the
+// counted tombstone form; the result stays in counted form.
+func composeCounts[K num.Key, V any](lo, up MergeOp[K, V], eachBeneath func(k K, fn func(V) bool)) MergeOp[K, V] {
+	// consumed is how many of upper's tombstones land on base matches
+	// (they add to the composed tombstone count); the excess lands on
+	// lower's oldest pending adds instead.
+	consumed := up.Dels
+	excess := 0
+	if up.Dels > 0 && len(lo.Adds) > 0 {
+		limit := lo.Dels + up.Dels
+		base := 0
+		eachBeneath(lo.Key, func(V) bool {
+			base++
+			return base < limit
+		})
+		survivors := base - lo.Dels
+		if survivors < 0 {
+			survivors = 0
+		}
+		if consumed > survivors {
+			consumed = survivors
+		}
+		excess = up.Dels - consumed
+		if excess > len(lo.Adds) {
+			// More tombstones than victims would violate the write path's
+			// victim-exists invariant; clamp so a malformed input cannot
+			// panic the slice below.
+			excess = len(lo.Adds)
+		}
+	}
+	adds := lo.Adds[excess:]
+	if len(up.Adds) > 0 {
+		merged := make([]V, 0, len(adds)+len(up.Adds))
+		merged = append(merged, adds...)
+		merged = append(merged, up.Adds...)
+		adds = merged
+	}
+	return MergeOp[K, V]{Key: lo.Key, Adds: adds, Dels: lo.Dels + consumed}
+}
+
+// composeTombs composes one key's entries when either layer carries value
+// tombstones; the result uses the list form (counted entries are folded
+// in as Any entries, preserving recording order: lower's tombstones
+// before upper's).
+func composeTombs[K num.Key, V any](lo, up MergeOp[K, V], eachBeneath func(k K, fn func(V) bool)) MergeOp[K, V] {
+	upList := asTombList(up)
+	composed := asTombList(lo)
+	adds := lo.Adds
+	if len(upList) > 0 && len(lo.Adds) > 0 {
+		// Ambiguous: upper's entries may land on base survivors (keeping
+		// the entry, now relative to beneath-lower) or on lower's adds
+		// (cancelling entry and add together). Materialize the base
+		// matches — value entries can reach arbitrarily deep into the
+		// run — apply lower, and stream upper over survivors-then-adds.
+		var base []V
+		eachBeneath(lo.Key, func(v V) bool {
+			base = append(base, v)
+			return true
+		})
+		loSet := NewTombSet(0, composed)
+		survivors, _ := applyTombs(nil, base, &loSet)
+		upSet := NewTombSet(0, upList)
+		composed = composed[:len(composed):len(composed)]
+		for _, v := range survivors {
+			for ti, tb := range upSet.tombs {
+				if !upSet.used[ti] && (tb.Any || valueEq(tb.Val, v)) {
+					upSet.used[ti] = true
+					composed = append(composed, tb)
+					break
+				}
+			}
+		}
+		kept := make([]V, 0, len(lo.Adds))
+		for _, v := range lo.Adds {
+			if upSet.Consume(v) {
+				continue
+			}
+			kept = append(kept, v)
+		}
+		adds = kept
+		// Upper entries that consumed nothing have no victim beneath this
+		// op's level; like the counted form's clamp, they are dropped
+		// rather than left to delete a future, unrelated write.
+	} else {
+		composed = append(composed[:len(composed):len(composed)], upList...)
+	}
+	if len(up.Adds) > 0 {
+		merged := make([]V, 0, len(adds)+len(up.Adds))
+		merged = append(merged, adds...)
+		merged = append(merged, up.Adds...)
+		adds = merged
+	}
+	op := MergeOp[K, V]{Key: lo.Key, Adds: adds, Tombs: composed}
+	if allAny(op.Tombs) {
+		op.Dels, op.Tombs = len(op.Tombs), nil
+	}
+	return op
+}
+
+// asTombList returns an op's tombstones in list form, expanding a counted
+// op into Any entries.
+func asTombList[K num.Key, V any](op MergeOp[K, V]) []Tomb[V] {
+	if len(op.Tombs) > 0 {
+		return op.Tombs
+	}
+	if op.Dels == 0 {
+		return nil
+	}
+	list := make([]Tomb[V], op.Dels)
+	for i := range list {
+		list[i].Any = true
+	}
+	return list
+}
+
+// allAny reports whether every entry of a tombstone list is anonymous, in
+// which case the counted form represents it exactly.
+func allAny[V any](tombs []Tomb[V]) bool {
+	for _, t := range tombs {
+		if !t.Any {
+			return false
+		}
+	}
+	return true
 }

@@ -12,12 +12,13 @@ import (
 // count is consulted only for ambiguous keys, and fully cancelled entries
 // vanish from the output.
 func TestCompactOpsSpill(t *testing.T) {
-	count := func(n int) func(uint64, int) int {
-		return func(k uint64, limit int) int {
-			if n < limit {
-				return n
+	count := func(n int) func(uint64, func(uint64) bool) {
+		return func(k uint64, fn func(uint64) bool) {
+			for i := 0; i < n; i++ {
+				if !fn(0) {
+					return
+				}
 			}
-			return limit
 		}
 	}
 	type opcase struct {
@@ -82,7 +83,7 @@ func TestCompactOpsSpill(t *testing.T) {
 	// spill into lower adds — never for add-only uppers or add-free
 	// lowers, where the composition is pure arithmetic.
 	calls := 0
-	counting := func(k uint64, limit int) int { calls++; return limit }
+	counting := func(k uint64, fn func(uint64) bool) { calls++ }
 	CompactOps(
 		[]MergeOp[uint64, uint64]{{Key: 1, Dels: 2}, {Key: 2, Adds: []uint64{20}}},
 		[]MergeOp[uint64, uint64]{{Key: 1, Dels: 1}, {Key: 2, Adds: []uint64{21}}},
@@ -159,12 +160,7 @@ func testCompactOpsRandomized(t *testing.T, kind RouterKind) {
 		upper := compactGenOps(rng, middle, k)
 		want := contents(base.MergeCOW2(lower, upper))
 
-		countBeneath := func(key uint64, limit int) int {
-			c := 0
-			base.Each(key, func(uint64) bool { c++; return c < limit })
-			return c
-		}
-		compacted := CompactOps(lower, upper, countBeneath)
+		compacted := CompactOps(lower, upper, base.Each)
 		got := contents(base.MergeCOW(compacted))
 		if len(got) != len(want) {
 			t.Fatalf("trial %d: compacted fold %d elements, want %d", trial, len(got), len(want))

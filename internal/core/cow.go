@@ -8,15 +8,24 @@ import (
 )
 
 // MergeOp describes the pending writes for one key in a copy-on-write
-// merge. Adds holds values to insert under Key, in insertion order. Dels
-// tombstones the first Dels live matches for Key in scan order — page
-// order along the chain, data before buffer within a page — the same
-// "first N matches" semantics the Optimistic facade's delta applies to
-// reads (see Optimistic.Delete).
+// merge. Adds holds values to insert under Key, in insertion order.
+//
+// Tombstones come in two representations, of which an op uses at most
+// one. Dels tombstones the first Dels live matches for Key in scan
+// order — page order along the chain, data before buffer within a page —
+// the same "first N matches" semantics the Optimistic facade's delta
+// applies to reads (see Optimistic.Delete). Tombs is the value-aware
+// generalization: an ordered list applied entry by entry, each deleting
+// the first not-yet-consumed live match it accepts in scan order (any
+// match for an Any entry, the first equal-valued match for a value
+// entry). A non-empty Tombs requires Dels == 0 — anonymous deletes
+// travel inside the list as Any entries so their order relative to value
+// deletes is preserved — and a comparable value type.
 type MergeOp[K num.Key, V any] struct {
-	Key  K
-	Adds []V
-	Dels int
+	Key   K
+	Adds  []V
+	Dels  int
+	Tombs []Tomb[V]
 }
 
 // MergeCOW folds ops — which must be sorted by strictly ascending Key —
@@ -49,6 +58,9 @@ func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 		}
 		if i > 0 && ops[i].Key <= ops[i-1].Key {
 			panic("fitingtree: MergeCOW ops not sorted by strictly ascending key")
+		}
+		if ops[i].Dels > 0 && len(ops[i].Tombs) > 0 {
+			panic("fitingtree: MergeCOW op carries both a Dels count and a Tombs list")
 		}
 	}
 	if len(ops) == 0 {
@@ -326,7 +338,7 @@ func (t *Tree[K, V]) dirtyIntervals(ops []MergeOp[K, V]) []cowInterval {
 	for oi, op := range ops {
 		k := op.Key
 		var lo cursor[K, V]
-		if op.Dels > 0 {
+		if op.Dels > 0 || len(op.Tombs) > 0 {
 			lo, _ = t.firstCandidate(k)
 		} else {
 			lo, _ = t.insertCursor(k)
@@ -382,10 +394,7 @@ func (t *Tree[K, V]) mergeRegion(iv cowInterval, ops []MergeOp[K, V]) ([]K, []V,
 	}
 	keys := make([]K, 0, total+addN)
 	vals := make([]V, 0, total+addN)
-	rem := make([]int, len(ops)) // tombstones left to apply, per op
-	for i, op := range ops {
-		rem[i] = op.Dels
-	}
+	ts := newTombSets(ops) // tombstones left to apply, per op
 	deleted := 0
 	oi := 0
 	t.eachRegionPage(iv, func(p *page[K, V]) {
@@ -411,8 +420,7 @@ func (t *Tree[K, V]) mergeRegion(iv cowInterval, ops []MergeOp[K, V]) ([]K, []V,
 				}
 				oi++
 			}
-			if oi < len(ops) && ops[oi].Key == bk && rem[oi] > 0 {
-				rem[oi]--
+			if oi < len(ops) && ops[oi].Key == bk && ts[oi].Consume(bv) {
 				deleted++
 				continue
 			}

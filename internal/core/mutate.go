@@ -61,6 +61,15 @@ func (t *Tree[K, V]) Delete(k K) bool {
 	return t.DeleteWhere(k, func(V) bool { return true })
 }
 
+// DeleteValue removes the first element with key k whose value equals v
+// under Go equality, reporting whether one was removed. Unlike Delete,
+// the victim among distinct-valued duplicates is named by the caller, so
+// the outcome cannot depend on scan order. It panics for non-comparable
+// value types.
+func (t *Tree[K, V]) DeleteValue(k K, v V) bool {
+	return t.DeleteWhere(k, func(w V) bool { return valueEq(w, v) })
+}
+
 // DeleteWhere removes the first element with key k whose value satisfies
 // pred, reporting whether one was removed. It lets callers disambiguate
 // duplicates (e.g. a secondary index deleting one specific row posting).
@@ -88,6 +97,9 @@ func (t *Tree[K, V]) DeleteWhere(k K, pred func(V) bool) bool {
 				if pred(p.vals[j]) {
 					p.keys = removeAt(p.keys, j)
 					p.vals = removeAt(p.vals, j)
+					if p.pref != nil {
+						p.pref = removeAt(p.pref, j)
+					}
 					p.deletes++
 					t.afterDelete(cu)
 					return true

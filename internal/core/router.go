@@ -81,10 +81,12 @@ func (r *btreeRouter[K, V]) check() error       { return r.tr.CheckInvariants() 
 // predictable access pattern; structural mutations rebuild both arrays in
 // O(n), which is cheap because n is the number of segments, not keys.
 type implicitRouter[K num.Key, V any] struct {
-	keys  []K           // sorted
-	pages []*page[K, V] // routed pages, parallel to keys
-	eytz  []K           // 1-based BFS layout of keys
-	perm  []int32
+	keys   []K           // sorted
+	pages  []*page[K, V] // routed pages, parallel to keys
+	eytz   []K           // 1-based BFS layout of keys
+	pref   []uint64      // string keys only: parallel 8-byte prefixes of eytz
+	fixed8 bool          // string keys only: every routing key is exactly 8 bytes
+	perm   []int32
 }
 
 // clone returns an independently mutable copy. The key and page arrays
@@ -93,10 +95,12 @@ type implicitRouter[K num.Key, V any] struct {
 // replaces the layout slices wholesale.
 func (r *implicitRouter[K, V]) clone() *implicitRouter[K, V] {
 	return &implicitRouter[K, V]{
-		keys:  append([]K(nil), r.keys...),
-		pages: append([]*page[K, V](nil), r.pages...),
-		eytz:  r.eytz,
-		perm:  r.perm,
+		keys:   append([]K(nil), r.keys...),
+		pages:  append([]*page[K, V](nil), r.pages...),
+		eytz:   r.eytz,
+		pref:   r.pref,
+		fixed8: r.fixed8,
+		perm:   r.perm,
 	}
 }
 
@@ -118,6 +122,10 @@ func (r *implicitRouter[K, V]) rebuild() {
 		fill(2*slot + 1)
 	}
 	fill(1)
+	r.pref = stringPrefixes(r.eytz)
+	// The sorted array, not the layout: eytz's unused slot 0 holds the
+	// zero string, which must not veto the fixed-width fast path.
+	r.fixed8 = allLen8(r.keys)
 }
 
 // searchFloor returns the sorted index of the greatest key <= k, or -1.
@@ -126,12 +134,50 @@ func (r *implicitRouter[K, V]) searchFloor(k K) int {
 	if n == 0 {
 		return -1
 	}
+	if r.pref != nil {
+		return r.searchFloorString(any(k).(string))
+	}
 	best := -1
 	slot := 1
 	for slot <= n {
 		if r.eytz[slot] <= k {
 			// Keys on successive right turns increase, so the last one
 			// recorded is the floor.
+			best = int(r.perm[slot])
+			slot = 2*slot + 1
+		} else {
+			slot = 2 * slot
+		}
+	}
+	return best
+}
+
+// searchFloorString is searchFloor for string keys: the descent probes
+// the prefix sidecar (one contiguous integer array, like a numeric
+// router) and dereferences the actual routing string only on a prefix
+// tie.
+func (r *implicitRouter[K, V]) searchFloorString(k string) int {
+	ks := any(r.eytz).([]string)
+	kp := num.StringPrefix(k)
+	n := len(r.keys)
+	best := -1
+	slot := 1
+	if r.fixed8 && len(k) == 8 {
+		// Fixed-width codec keys: the sidecar is a lossless image of the
+		// routing keys, so the descent never touches string data.
+		for slot <= n {
+			if r.pref[slot] <= kp {
+				best = int(r.perm[slot])
+				slot = 2*slot + 1
+			} else {
+				slot = 2 * slot
+			}
+		}
+		return best
+	}
+	for slot <= n {
+		p := r.pref[slot]
+		if p < kp || (p == kp && ks[slot] <= k) {
 			best = int(r.perm[slot])
 			slot = 2*slot + 1
 		} else {
@@ -248,6 +294,19 @@ func (r *implicitRouter[K, V]) check() error {
 	for slot := 1; slot < len(r.eytz); slot++ {
 		if r.keys[r.perm[slot]] != r.eytz[slot] {
 			return fmt.Errorf("router: layout disagrees with keys at slot %d", slot)
+		}
+	}
+	if ks, isStr := any(r.eytz).([]string); isStr {
+		if len(r.pref) != len(ks) {
+			return fmt.Errorf("router: prefix sidecar length %d, layout %d", len(r.pref), len(ks))
+		}
+		for slot := 1; slot < len(ks); slot++ {
+			if r.pref[slot] != num.StringPrefix(ks[slot]) {
+				return fmt.Errorf("router: stale prefix sidecar at slot %d", slot)
+			}
+		}
+		if r.fixed8 != allLen8(r.keys) {
+			return fmt.Errorf("router: stale fixed-width flag")
 		}
 	}
 	return nil

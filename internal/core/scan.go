@@ -318,6 +318,24 @@ func (t *Tree[K, V]) CheckInvariants() error {
 			if len(p.keys) != len(p.vals) || len(p.bufKeys) != len(p.bufVals) {
 				return fmt.Errorf("fitingtree: key/value length mismatch at %v", p.start())
 			}
+			// String pages must carry an aligned prefix sidecar: the
+			// window search probes it in place of the key array.
+			if ks, isStr := any(p.keys).([]string); isStr && len(ks) > 0 {
+				if len(p.pref) != len(ks) {
+					return fmt.Errorf("fitingtree: prefix sidecar length %d, %d keys at %v", len(p.pref), len(ks), p.start())
+				}
+				for i, s := range ks {
+					if p.pref[i] != num.StringPrefix(s) {
+						return fmt.Errorf("fitingtree: stale prefix sidecar at %v offset %d", p.start(), i)
+					}
+					// fixed8 may be conservatively false (it is set at build
+					// time), but never true over a key of another width: the
+					// fast path would misread the sidecar as the key column.
+					if p.fixed8 && len(s) != 8 {
+						return fmt.Errorf("fitingtree: fixed-width flag over %d-byte key at %v", len(s), p.start())
+					}
+				}
+			}
 			if len(p.bufKeys) > num.MaxInt(1, t.opts.BufferSize) {
 				return fmt.Errorf("fitingtree: buffer overflow (%d) at %v", len(p.bufKeys), p.start())
 			}

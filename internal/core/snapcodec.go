@@ -44,9 +44,14 @@ var (
 // concrete (K, V) instantiation. Construct once with NewSnapCodec and
 // reuse; the codec itself is stateless and safe for concurrent use.
 type SnapCodec[K num.Key, V any] struct {
-	kFloat  bool
-	encVals func(buf []byte, vals []V) []byte
-	decVals func(data []byte, n int) ([]V, []byte, error)
+	// kFixed records that keys encode to exactly 8 bytes (every numeric
+	// kind). String keys are length-prefixed variable-width, which
+	// disables the arena fast path but keeps the raw format.
+	kFixed   bool
+	encKeys  func(buf []byte, keys []K) []byte
+	fillKeys func(out []K, data []byte) ([]byte, error)
+	encVals  func(buf []byte, vals []V) []byte
+	decVals  func(data []byte, n int) ([]V, []byte, error)
 	// decValsInto fills a pre-allocated slice instead of allocating; set
 	// only for fixed 8-byte value encodings, where Decode can carve every
 	// page's slices out of two per-chunk arenas.
@@ -161,12 +166,195 @@ func stringVals[V any]() (
 	return enc, dec
 }
 
+// stringKeys builds the key codec for K = string: u32 length prefix +
+// bytes per key, the same wire shape stringVals uses for values.
+func stringKeys[K any]() (
+	func(buf []byte, keys []K) []byte,
+	func(out []K, data []byte) ([]byte, error),
+) {
+	enc := func(buf []byte, keys []K) []byte {
+		for _, s := range any(keys).([]string) {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+		return buf
+	}
+	fill := func(out []K, data []byte) ([]byte, error) {
+		o := any(out).([]string)
+		for i := range o {
+			if len(data) < 4 {
+				return nil, errSnapTruncated
+			}
+			l := int(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+			if l < 0 || len(data) < l {
+				return nil, errSnapTruncated
+			}
+			o[i] = string(data[:l])
+			data = data[l:]
+		}
+		return data, nil
+	}
+	return enc, fill
+}
+
+// verifyKeys rejects decoded key runs that violate the tree's ordering
+// invariants: NaN keys (k != k is false for every non-float kind) and
+// out-of-order neighbors under the key type's native comparison.
+func verifyKeys[K num.Key](out []K) error {
+	for i := range out {
+		if out[i] != out[i] {
+			return errSnapNaN
+		}
+		if i > 0 && out[i] < out[i-1] {
+			return errSnapUnsorted
+		}
+	}
+	return nil
+}
+
+// reflectKeys builds the key codec for named key types, whose concrete
+// slice type defeats the builtin type switches. Per-element reflection is
+// slow but exactly wire-compatible with the builtin codec of the same
+// kind, and it only runs for user-defined key types.
+func reflectKeys[K num.Key]() (
+	func(buf []byte, keys []K) []byte,
+	func(out []K, data []byte) ([]byte, error),
+	bool,
+) {
+	kt := reflect.TypeOf((*K)(nil)).Elem()
+	switch kt.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		shift := 64 - uint(kt.Bits())
+		enc := func(buf []byte, keys []K) []byte {
+			for i := range keys {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(reflect.ValueOf(keys[i]).Int()))
+			}
+			return buf
+		}
+		fill := func(out []K, data []byte) ([]byte, error) {
+			if len(data) < 8*len(out) {
+				return nil, errSnapTruncated
+			}
+			for i := range out {
+				x := int64(binary.LittleEndian.Uint64(data[8*i:])) << shift >> shift
+				reflect.ValueOf(&out[i]).Elem().SetInt(x)
+			}
+			return data[8*len(out):], nil
+		}
+		return enc, fill, true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		mask := ^uint64(0) >> (64 - uint(kt.Bits()))
+		enc := func(buf []byte, keys []K) []byte {
+			for i := range keys {
+				buf = binary.LittleEndian.AppendUint64(buf, reflect.ValueOf(keys[i]).Uint())
+			}
+			return buf
+		}
+		fill := func(out []K, data []byte) ([]byte, error) {
+			if len(data) < 8*len(out) {
+				return nil, errSnapTruncated
+			}
+			for i := range out {
+				reflect.ValueOf(&out[i]).Elem().SetUint(binary.LittleEndian.Uint64(data[8*i:]) & mask)
+			}
+			return data[8*len(out):], nil
+		}
+		return enc, fill, true
+	case reflect.Float32, reflect.Float64:
+		enc := func(buf []byte, keys []K) []byte {
+			for i := range keys {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(reflect.ValueOf(keys[i]).Float()))
+			}
+			return buf
+		}
+		fill := func(out []K, data []byte) ([]byte, error) {
+			if len(data) < 8*len(out) {
+				return nil, errSnapTruncated
+			}
+			for i := range out {
+				reflect.ValueOf(&out[i]).Elem().SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:])))
+			}
+			return data[8*len(out):], nil
+		}
+		return enc, fill, true
+	case reflect.String:
+		enc := func(buf []byte, keys []K) []byte {
+			for i := range keys {
+				s := reflect.ValueOf(keys[i]).String()
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+				buf = append(buf, s...)
+			}
+			return buf
+		}
+		fill := func(out []K, data []byte) ([]byte, error) {
+			for i := range out {
+				if len(data) < 4 {
+					return nil, errSnapTruncated
+				}
+				l := int(binary.LittleEndian.Uint32(data))
+				data = data[4:]
+				if l < 0 || len(data) < l {
+					return nil, errSnapTruncated
+				}
+				reflect.ValueOf(&out[i]).Elem().SetString(string(data[:l]))
+				data = data[l:]
+			}
+			return data, nil
+		}
+		return enc, fill, false
+	}
+	panic("fitingtree: key type outside the num.Key constraint")
+}
+
 // NewSnapCodec resolves the key and value fast paths once.
 func NewSnapCodec[K num.Key, V any]() SnapCodec[K, V] {
 	var c SnapCodec[K, V]
-	switch reflect.TypeOf((*K)(nil)).Elem().Kind() {
-	case reflect.Float32, reflect.Float64:
-		c.kFloat = true
+	c.kFixed = true
+	switch any((*K)(nil)).(type) {
+	case *uint64:
+		c.encKeys, _, c.fillKeys = intVals[uint64, K]()
+	case *int64:
+		c.encKeys, _, c.fillKeys = intVals[int64, K]()
+	case *int:
+		c.encKeys, _, c.fillKeys = intVals[int, K]()
+	case *uint:
+		c.encKeys, _, c.fillKeys = intVals[uint, K]()
+	case *int32:
+		c.encKeys, _, c.fillKeys = fixedVals[int32, K](
+			func(v int32) uint64 { return uint64(int64(v)) },
+			func(b uint64) int32 { return int32(int64(b)) })
+	case *uint32:
+		c.encKeys, _, c.fillKeys = fixedVals[uint32, K](
+			func(v uint32) uint64 { return uint64(v) },
+			func(b uint64) uint32 { return uint32(b) })
+	case *int16:
+		c.encKeys, _, c.fillKeys = fixedVals[int16, K](
+			func(v int16) uint64 { return uint64(int64(v)) },
+			func(b uint64) int16 { return int16(int64(b)) })
+	case *uint16:
+		c.encKeys, _, c.fillKeys = fixedVals[uint16, K](
+			func(v uint16) uint64 { return uint64(v) },
+			func(b uint64) uint16 { return uint16(b) })
+	case *int8:
+		c.encKeys, _, c.fillKeys = fixedVals[int8, K](
+			func(v int8) uint64 { return uint64(int64(v)) },
+			func(b uint64) int8 { return int8(int64(b)) })
+	case *uint8:
+		c.encKeys, _, c.fillKeys = fixedVals[uint8, K](
+			func(v uint8) uint64 { return uint64(v) },
+			func(b uint64) uint8 { return uint8(b) })
+	case *float64:
+		c.encKeys, _, c.fillKeys = fixedVals[float64, K](math.Float64bits, math.Float64frombits)
+	case *float32:
+		c.encKeys, _, c.fillKeys = fixedVals[float32, K](
+			func(v float32) uint64 { return math.Float64bits(float64(v)) },
+			func(b uint64) float32 { return float32(math.Float64frombits(b)) })
+	case *string:
+		c.encKeys, c.fillKeys = stringKeys[K]()
+		c.kFixed = false
+	default:
+		c.encKeys, c.fillKeys, c.kFixed = reflectKeys[K]()
 	}
 	switch any((*V)(nil)).(type) {
 	case *uint64:
@@ -206,67 +394,40 @@ func NewSnapCodec[K num.Key, V any]() SnapCodec[K, V] {
 	return c
 }
 
-// keyBits maps a key to its exact 8-byte wire form: float kinds through
-// math.Float64bits (lossless for float32 as well), integer kinds through
-// two's-complement (lossless for the full uint64 range).
-func (c *SnapCodec[K, V]) keyBits(k K) uint64 {
-	if c.kFloat {
-		return math.Float64bits(float64(k))
-	}
-	return uint64(int64(k))
+// encKey appends one key's wire form (the per-page segment start key).
+func (c *SnapCodec[K, V]) encKey(buf []byte, k K) []byte {
+	var tmp [1]K
+	tmp[0] = k
+	return c.encKeys(buf, tmp[:])
 }
 
-// keyFromBits inverts keyBits. The conversions stay exact because the
-// float branch is taken exactly for float kinds.
-func (c *SnapCodec[K, V]) keyFromBits(b uint64) K {
-	if c.kFloat {
-		return K(math.Float64frombits(b))
+// decKey decodes one key, returning the remaining bytes.
+func (c *SnapCodec[K, V]) decKey(data []byte) (K, []byte, error) {
+	var tmp [1]K
+	data, err := c.fillKeys(tmp[:], data)
+	if err != nil {
+		var zero K
+		return zero, nil, err
 	}
-	return K(int64(b))
-}
-
-// appendKeys appends each key's 8-byte form.
-func (c *SnapCodec[K, V]) appendKeys(buf []byte, keys []K) []byte {
-	if c.kFloat {
-		for _, k := range keys {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(float64(k)))
-		}
-		return buf
+	if tmp[0] != tmp[0] {
+		var zero K
+		return zero, nil, errSnapNaN
 	}
-	for _, k := range keys {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(k)))
-	}
-	return buf
+	return tmp[0], data, nil
 }
 
 // decKeysInto decodes len(out) keys into out, returning the remaining
-// bytes. It verifies ordering (and, for float kinds, NaN-freeness) as it
-// fills, so callers can mark the snapshot KeysVerified.
+// bytes. It verifies ordering and NaN-freeness as it fills, so callers
+// can mark the snapshot KeysVerified.
 func (c *SnapCodec[K, V]) decKeysInto(out []K, data []byte) ([]byte, error) {
-	if len(data) < 8*len(out) {
-		return nil, errSnapTruncated
+	data, err := c.fillKeys(out, data)
+	if err != nil {
+		return nil, err
 	}
-	if c.kFloat {
-		for i := range out {
-			k := K(math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:])))
-			if k != k {
-				return nil, errSnapNaN
-			}
-			if i > 0 && k < out[i-1] {
-				return nil, errSnapUnsorted
-			}
-			out[i] = k
-		}
-	} else {
-		for i := range out {
-			k := K(int64(binary.LittleEndian.Uint64(data[8*i:])))
-			if i > 0 && k < out[i-1] {
-				return nil, errSnapUnsorted
-			}
-			out[i] = k
-		}
+	if err := verifyKeys(out); err != nil {
+		return nil, err
 	}
-	return data[8*len(out):], nil
+	return data, nil
 }
 
 // decKeys decodes n keys, returning the remaining bytes.
@@ -289,6 +450,8 @@ func (c *SnapCodec[K, V]) Encode(snap ChunkSnap[K, V]) ([]byte, error) {
 		}
 		return sink.Bytes(), nil
 	}
+	// The size is an exact precompute for fixed 8-byte keys and values and
+	// a capacity hint otherwise (variable-width fields grow the buffer).
 	size := 1 + 4
 	for _, p := range snap.Pages {
 		size += 32 + 4 + 16*len(p.Keys) + 4 + 16*len(p.BufKeys) + 4
@@ -297,15 +460,15 @@ func (c *SnapCodec[K, V]) Encode(snap ChunkSnap[K, V]) ([]byte, error) {
 	buf[0] = snapFormatRaw
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap.Pages)))
 	for _, p := range snap.Pages {
-		buf = binary.LittleEndian.AppendUint64(buf, c.keyBits(p.Seg.Start))
+		buf = c.encKey(buf, p.Seg.Start)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(p.Seg.StartPos)))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(p.Seg.Count)))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Seg.Slope))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Keys)))
-		buf = c.appendKeys(buf, p.Keys)
+		buf = c.encKeys(buf, p.Keys)
 		buf = c.encVals(buf, p.Vals)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.BufKeys)))
-		buf = c.appendKeys(buf, p.BufKeys)
+		buf = c.encKeys(buf, p.BufKeys)
 		buf = c.encVals(buf, p.BufVals)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Deletes))
 	}
@@ -359,7 +522,7 @@ func (c *SnapCodec[K, V]) Decode(data []byte) (ChunkSnap[K, V], error) {
 	// of stomping its arena neighbor.
 	var keyArena []K
 	var valArena []V
-	if c.decValsInto != nil {
+	if c.decValsInto != nil && c.kFixed {
 		if total, ok := rawSnapTotal(data, nPages); ok {
 			keyArena = make([]K, total)
 			valArena = make([]V, total)
@@ -372,17 +535,19 @@ func (c *SnapCodec[K, V]) Decode(data []byte) (ChunkSnap[K, V], error) {
 	}
 	for i := range snap.Pages {
 		p := &snap.Pages[i]
-		if len(data) < 32 {
+		var err error
+		if p.Seg.Start, data, err = c.decKey(data); err != nil {
+			return snap, err
+		}
+		if len(data) < 24 {
 			return snap, errSnapTruncated
 		}
-		p.Seg.Start = c.keyFromBits(binary.LittleEndian.Uint64(data))
-		p.Seg.StartPos = int(int64(binary.LittleEndian.Uint64(data[8:])))
-		p.Seg.Count = int(int64(binary.LittleEndian.Uint64(data[16:])))
-		p.Seg.Slope = math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
-		data = data[32:]
+		p.Seg.StartPos = int(int64(binary.LittleEndian.Uint64(data)))
+		p.Seg.Count = int(int64(binary.LittleEndian.Uint64(data[8:])))
+		p.Seg.Slope = math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+		data = data[24:]
 
 		var n int
-		var err error
 		if n, data, err = c.decCount(data); err != nil {
 			return snap, err
 		}

@@ -149,6 +149,8 @@ type page[K num.Key, V any] struct {
 	seg     segment.Segment[K] // prediction model over keys as of last (re)build
 	keys    []K                // sorted segment data
 	vals    []V                // parallel to keys
+	pref    []uint64           // string keys only: parallel 8-byte ordering prefixes
+	fixed8  bool               // string keys only: every key is exactly 8 bytes
 	bufKeys []K                // sorted insert buffer
 	bufVals []V
 	deletes int // elements removed from keys since last rebuild
@@ -157,7 +159,45 @@ type page[K num.Key, V any] struct {
 // newPage allocates a page with a fresh identity over the given segment
 // data.
 func newPage[K num.Key, V any](seg segment.Segment[K], keys []K, vals []V) *page[K, V] {
-	return &page[K, V]{id: pageSeq.Add(1), seg: seg, keys: keys, vals: vals}
+	return &page[K, V]{id: pageSeq.Add(1), seg: seg, keys: keys, vals: vals,
+		pref: stringPrefixes(keys), fixed8: allLen8(keys)}
+}
+
+// stringPrefixes builds the prefix sidecar of a string-keyed page: the
+// num.StringPrefix of every key, in key order. String data lives behind a
+// header, so probing it costs two dependent loads to scattered memory;
+// the sidecar gives the window search one contiguous integer array to
+// probe — the same access pattern a numeric page enjoys — with the full
+// byte-wise comparison paid only on a prefix tie. Non-string keys get nil.
+func stringPrefixes[K num.Key](keys []K) []uint64 {
+	ks, ok := any(keys).([]string)
+	if !ok || len(ks) == 0 {
+		return nil
+	}
+	pref := make([]uint64, len(ks))
+	for i, s := range ks {
+		pref[i] = num.StringPrefix(s)
+	}
+	return pref
+}
+
+// allLen8 reports whether keys are strings of exactly 8 bytes each — the
+// shape every fixed-width keycodec encoding (Uint64, Int64, Float64,
+// Time) produces. For such keys the 8-byte prefix IS the key: prefix
+// order coincides with byte-wise order and prefix equality with string
+// equality, so searches can run entirely on the integer sidecar without
+// ever dereferencing string data. False for non-string or empty keys.
+func allLen8[K num.Key](keys []K) bool {
+	ks, ok := any(keys).([]string)
+	if !ok || len(ks) == 0 {
+		return false
+	}
+	for _, s := range ks {
+		if len(s) != 8 {
+			return false
+		}
+	}
+	return true
 }
 
 // start returns the page's first key as of the last rebuild (its routing
@@ -621,6 +661,38 @@ func (p *page[K, V]) dataSearch(k K, err int, strat SearchStrategy) (int, bool) 
 	hi := num.ClampInt(int(pred)+w+1, 0, n) // exclusive
 	var i int
 	var ok bool
+	if ks, isStr := any(p.keys).([]string); isStr && p.pref != nil {
+		kk := any(k).(string)
+		kp := num.StringPrefix(kk)
+		if p.fixed8 && len(kk) == 8 {
+			// Fixed-width codec keys: the sidecar is a lossless image of
+			// the key column, so the search never touches string data.
+			at := num.ClampInt(int(pred), lo, hi-1)
+			switch strat {
+			case SearchLinear:
+				i, ok = linearSearch(p.pref, lo, hi, at, kp)
+			case SearchExponential:
+				i, ok = exponentialSearch(p.pref, lo, hi, at, kp)
+			default:
+				i, ok = binarySearch(p.pref, lo, hi, kp)
+			}
+			if !ok {
+				return i, false
+			}
+			for i > 0 && p.pref[i-1] == kp {
+				i--
+			}
+			return i, true
+		}
+		i, ok = prefixWindowSearch(p.pref, ks, lo, hi, num.ClampInt(int(pred), lo, hi-1), kk, kp, strat)
+		if !ok {
+			return i, false
+		}
+		for i > 0 && p.pref[i-1] == kp && ks[i-1] == kk {
+			i--
+		}
+		return i, true
+	}
 	switch strat {
 	case SearchLinear:
 		i, ok = linearSearch(p.keys, lo, hi, num.ClampInt(int(pred), lo, hi-1), k)
@@ -638,6 +710,111 @@ func (p *page[K, V]) dataSearch(k K, err int, strat SearchStrategy) (int, bool) 
 		i--
 	}
 	return i, true
+}
+
+// prefixWindowSearch is dataSearch's window search for string keys. The
+// probes bisect the page's prefix sidecar — one contiguous integer array,
+// the access pattern a numeric page enjoys — and the prefix is weakly
+// monotone, so an unequal prefix pair decides the order with one integer
+// compare. Only a prefix tie dereferences the actual strings. Ordered-
+// bytes codec keys resolve almost every probe on the integer path, which
+// is what keeps string-keyed lookups within small-constant reach of
+// native numeric ones.
+func prefixWindowSearch(pref []uint64, keys []string, lo, hi, at int, k string, kp uint64, strat SearchStrategy) (int, bool) {
+	switch strat {
+	case SearchLinear:
+		return prefixLinearSearch(pref, keys, lo, hi, at, k, kp)
+	case SearchExponential:
+		return prefixExponentialSearch(pref, keys, lo, hi, at, k, kp)
+	}
+	return prefixBinarySearch(pref, keys, lo, hi, k, kp)
+}
+
+// prefixBinarySearch is binarySearch over the prefix sidecar.
+func prefixBinarySearch(pref []uint64, keys []string, lo, hi int, k string, kp uint64) (int, bool) {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		mp := pref[mid]
+		if mp < kp || (mp == kp && keys[mid] < k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && pref[lo] == kp && keys[lo] == k {
+		return lo, true
+	}
+	return lo, false
+}
+
+// prefixLinearSearch is linearSearch over the prefix sidecar.
+func prefixLinearSearch(pref []uint64, keys []string, lo, hi, at int, k string, kp uint64) (int, bool) {
+	if pref[at] < kp || (pref[at] == kp && keys[at] < k) {
+		for i := at; i < hi; i++ {
+			p := pref[i]
+			if p < kp {
+				continue
+			}
+			if p > kp {
+				return i, false
+			}
+			if keys[i] == k {
+				return i, true
+			}
+			if keys[i] > k {
+				return i, false
+			}
+		}
+		return hi, false
+	}
+	for i := at; i >= lo; i-- {
+		p := pref[i]
+		if p > kp {
+			continue
+		}
+		if p < kp {
+			return i + 1, false
+		}
+		if keys[i] == k {
+			return i, true
+		}
+		if keys[i] < k {
+			return i + 1, false
+		}
+	}
+	return lo, false
+}
+
+// prefixExponentialSearch is exponentialSearch over the prefix sidecar.
+func prefixExponentialSearch(pref []uint64, keys []string, lo, hi, at int, k string, kp uint64) (int, bool) {
+	if pref[at] < kp || (pref[at] == kp && keys[at] < k) {
+		step := 1
+		prev := at
+		i := at + 1
+		for i < hi {
+			p := pref[i]
+			if !(p < kp || (p == kp && keys[i] < k)) {
+				break
+			}
+			prev = i
+			i += step
+			step *= 2
+		}
+		return prefixBinarySearch(pref, keys, prev+1, num.MinInt(i+1, hi), k, kp)
+	}
+	step := 1
+	prev := at
+	i := at - 1
+	for i >= lo {
+		p := pref[i]
+		if !(p > kp || (p == kp && keys[i] > k)) {
+			break
+		}
+		prev = i
+		i -= step
+		step *= 2
+	}
+	return prefixBinarySearch(pref, keys, num.MaxInt(i, lo), prev+1, k, kp)
 }
 
 // binarySearch returns the leftmost index of k in keys[lo:hi).

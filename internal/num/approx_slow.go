@@ -1,0 +1,22 @@
+package num
+
+import "reflect"
+
+// approxSlow projects named key types (whose dynamic type does not match
+// the builtin cases in Approx's type switch) via reflection. It is off
+// the hot path: segment construction calls Approx once per key during
+// training, and named key types are rare.
+func approxSlow[K Key](k K) float64 {
+	rv := reflect.ValueOf(k)
+	switch rv.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return float64(rv.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return float64(rv.Uint())
+	case reflect.Float32, reflect.Float64:
+		return rv.Float()
+	case reflect.String:
+		return StringApprox(rv.String())
+	}
+	panic("num: key type outside the Key constraint")
+}

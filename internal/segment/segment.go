@@ -67,7 +67,7 @@ type Segment[K num.Key] struct {
 // Predict returns the (unclamped, real-valued) predicted position of k
 // relative to the start of the segment's data, i.e. nominally in [0, Count).
 func (s Segment[K]) Predict(k K) float64 {
-	return (num.ToFloat(k) - num.ToFloat(s.Start)) * s.Slope
+	return (num.Approx(k) - num.Approx(s.Start)) * s.Slope
 }
 
 // Window returns the inclusive local-search window [lo, hi] of offsets
@@ -178,13 +178,13 @@ func ShrinkingCone[K num.Key](keys []K, err int) []Segment[K] {
 	}
 	e := float64(err)
 	segs := make([]Segment[K], 0, 16)
-	c := newCone(num.ToFloat(keys[0]), 0)
+	c := newCone(num.Approx(keys[0]), 0)
 	start := 0
 	for i := 1; i < len(keys); i++ {
 		if keys[i] < keys[i-1] {
 			panic(fmt.Sprintf("segment: keys not sorted at index %d", i))
 		}
-		if c.absorb(num.ToFloat(keys[i]), i, e) {
+		if c.absorb(num.Approx(keys[i]), i, e) {
 			continue
 		}
 		segs = append(segs, Segment[K]{
@@ -194,7 +194,7 @@ func ShrinkingCone[K num.Key](keys []K, err int) []Segment[K] {
 			Slope:    c.slope(),
 		})
 		start = i
-		c = newCone(num.ToFloat(keys[i]), i)
+		c = newCone(num.Approx(keys[i]), i)
 	}
 	segs = append(segs, Segment[K]{
 		Start:    keys[start],
@@ -292,9 +292,9 @@ func optimalDP[K num.Key](keys []K, err int, withParents bool) (int, []int) {
 				parents[j] = j
 			}
 		}
-		c := newCone(num.ToFloat(keys[j]), j)
+		c := newCone(num.Approx(keys[j]), j)
 		for k := j + 1; k < n; k++ {
-			x := num.ToFloat(keys[k])
+			x := num.Approx(keys[k])
 			// Endpoint feasibility is not prefix-closed in k (a later k
 			// can re-enter the cone), so test every k; but every point,
 			// feasible as an end or not, constrains later end points, and
@@ -357,10 +357,10 @@ func (c *freeCone) midSlope() float64 {
 // freeReach returns the largest index r such that keys[j..r] admits some
 // single origin-anchored line within err (free-slope semantics).
 func freeReach[K num.Key](keys []K, j int, err float64) int {
-	c := newFreeCone(num.ToFloat(keys[j]), j)
+	c := newFreeCone(num.Approx(keys[j]), j)
 	r := j
 	for i := j + 1; i < len(keys); i++ {
-		if !c.absorb(num.ToFloat(keys[i]), i, err) {
+		if !c.absorb(num.Approx(keys[i]), i, err) {
 			break
 		}
 		r = i
@@ -401,19 +401,19 @@ func OptimalFreeSlope[K num.Key](keys []K, err int) int {
 // final point must be a feasible end point. The slope is the line from the
 // first to the last point (0 if the segment holds a single distinct key).
 func buildSegment[K num.Key](keys []K, start, end int, err float64) Segment[K] {
-	c := newCone(num.ToFloat(keys[start]), start)
+	c := newCone(num.Approx(keys[start]), start)
 	for i := start + 1; i < end-1; i++ {
-		if !c.constrain(num.ToFloat(keys[i]), i, err) {
+		if !c.constrain(num.Approx(keys[i]), i, err) {
 			panic(fmt.Sprintf("segment: internal error: optimal segment [%d,%d) cone empty at %d", start, end, i))
 		}
 	}
 	slope := 0.0
 	if end-1 > start {
-		last := num.ToFloat(keys[end-1])
+		last := num.Approx(keys[end-1])
 		if !c.endpointFeasible(last, end-1, err) {
 			panic(fmt.Sprintf("segment: internal error: optimal segment [%d,%d) infeasible end", start, end))
 		}
-		if dx := last - num.ToFloat(keys[start]); dx > 0 {
+		if dx := last - num.Approx(keys[start]); dx > 0 {
 			slope = float64(end-1-start) / dx
 		}
 	}

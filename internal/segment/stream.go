@@ -38,7 +38,7 @@ func NewStreamer[K num.Key](err int, emit func(Segment[K])) (*Streamer[K], error
 // (duplicates allowed).
 func (s *Streamer[K]) Push(k K) error {
 	if s.n == 0 {
-		s.c = newCone(num.ToFloat(k), 0)
+		s.c = newCone(num.Approx(k), 0)
 		s.startK = k
 		s.lastKey = k
 		s.n = 1
@@ -47,7 +47,7 @@ func (s *Streamer[K]) Push(k K) error {
 	if k < s.lastKey {
 		return fmt.Errorf("segment: key %v pushed after %v", k, s.lastKey)
 	}
-	if !s.c.absorb(num.ToFloat(k), s.n, s.err) {
+	if !s.c.absorb(num.Approx(k), s.n, s.err) {
 		s.emit(Segment[K]{
 			Start:    s.startK,
 			StartPos: s.start,
@@ -56,7 +56,7 @@ func (s *Streamer[K]) Push(k K) error {
 		})
 		s.start = s.n
 		s.startK = k
-		s.c = newCone(num.ToFloat(k), s.n)
+		s.c = newCone(num.Approx(k), s.n)
 	}
 	s.lastKey = k
 	s.n++

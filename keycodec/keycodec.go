@@ -1,0 +1,202 @@
+// Package keycodec builds order-preserving string keys from domain
+// values, turning any type it covers into a key the string-keyed trees of
+// this module can index.
+//
+// The split this package completes: a FITing-Tree key has two duties —
+// exact ordering (native < on the key type, used by every comparison the
+// correctness of lookups rests on) and approximate interpolation (a
+// weakly monotone float projection used only to predict a position, see
+// num.Approx). Encoding a domain value into ordered bytes discharges the
+// first duty exactly: for every codec here, Encode(a) < Encode(b) under
+// Go's string comparison (lexicographic byte order) iff a sorts before b
+// in the domain's natural order. The second duty is discharged by the
+// tree automatically — num.Approx of a string key reads its leading
+// eight bytes as a big-endian integer, which is weakly monotone over any
+// ordered-bytes encoding. Two keys agreeing on their first eight bytes
+// collide in the projection; that degrades the position prediction (a
+// wider final search window) but never correctness, because predicted
+// positions are only ever verified by comparisons.
+//
+// All codecs are stateless; the Decode functions reject malformed input
+// with an error rather than panicking, so untrusted bytes (a snapshot
+// read back from disk, a WAL payload) cannot crash the process.
+package keycodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrShort reports an encoded key shorter than its fixed-width form.
+var ErrShort = errors.New("keycodec: encoded key too short")
+
+// Uint64 encodes an unsigned integer as 8 big-endian bytes; byte order
+// equals numeric order.
+func Uint64(v uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return string(b[:])
+}
+
+// DecodeUint64 reverses Uint64.
+func DecodeUint64(s string) (uint64, error) {
+	if len(s) < 8 {
+		return 0, ErrShort
+	}
+	return binary.BigEndian.Uint64([]byte(s[:8])), nil
+}
+
+// Int64 encodes a signed integer in 8 bytes with the sign bit flipped,
+// which maps the signed order onto the unsigned byte order: negative
+// values sort below zero, which sorts below positive values.
+func Int64(v int64) string {
+	return Uint64(uint64(v) ^ (1 << 63))
+}
+
+// DecodeInt64 reverses Int64.
+func DecodeInt64(s string) (int64, error) {
+	u, err := DecodeUint64(s)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u ^ (1 << 63)), nil
+}
+
+// Float64 encodes a float in 8 bytes ordered like the IEEE-754 total
+// order over non-NaN values: for non-negative floats the payload bits
+// already ascend with the value, so only the sign bit is flipped; for
+// negative floats the whole word is inverted, reversing their descending
+// bit pattern. NaN keys are rejected everywhere in this module, so the
+// codec panics on NaN rather than assigning it an arbitrary slot.
+// Negative zero encodes as positive zero: the two compare equal as
+// native float keys, so an order-preserving codec must not separate
+// them (decoding then returns +0 for either).
+func Float64(v float64) string {
+	if v != v {
+		panic("keycodec: Float64 with NaN")
+	}
+	if v == 0 {
+		v = 0 // collapse -0
+	}
+	bits := math.Float64bits(v)
+	if bits>>63 == 1 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	return Uint64(bits)
+}
+
+// DecodeFloat64 reverses Float64.
+func DecodeFloat64(s string) (float64, error) {
+	bits, err := DecodeUint64(s)
+	if err != nil {
+		return 0, err
+	}
+	if bits>>63 == 1 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// Time encodes an instant as its Unix nanosecond count via Int64: byte
+// order equals chronological order for instants representable in int64
+// nanoseconds (years 1678–2262, time.Time's UnixNano domain).
+func Time(t time.Time) string {
+	return Int64(t.UnixNano())
+}
+
+// DecodeTime reverses Time, returning the instant in UTC.
+func DecodeTime(s string) (time.Time, error) {
+	n, err := DecodeInt64(s)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(0, n).UTC(), nil
+}
+
+// UUID encodes a 16-byte identifier verbatim: RFC 4122 UUIDs compare
+// bytewise, so the identity encoding is already order-preserving.
+func UUID(id [16]byte) string {
+	return string(id[:])
+}
+
+// DecodeUUID reverses UUID.
+func DecodeUUID(s string) ([16]byte, error) {
+	var id [16]byte
+	if len(s) < 16 {
+		return id, ErrShort
+	}
+	copy(id[:], s[:16])
+	return id, nil
+}
+
+// Composite-tuple encoding. Concatenating per-field encodings preserves
+// order only when no field's encoding is a proper prefix of another's at
+// the same position; raw strings break that ("a","b" vs "ab","") and so
+// does any variable-width field. Tuple therefore escapes each component —
+// 0x00 becomes 0x00 0xFF so no interior byte sequence collides with the
+// terminator — and closes it with 0x00 0x01, which sorts below every
+// escaped byte. The result: tuples compare field by field, shorter
+// prefixes first, exactly like a composite index key. Fixed-width
+// components (the codecs above) can be passed through Tuple unchanged;
+// the escape costs bytes only where a component contains 0x00.
+
+// Tuple encodes components into one ordered string key: the
+// concatenation of the escaped, terminated components compares like the
+// tuple compares lexicographically component by component.
+func Tuple(components ...string) string {
+	n := 0
+	for _, c := range components {
+		n += len(c) + 2
+	}
+	out := make([]byte, 0, n)
+	for _, c := range components {
+		for i := 0; i < len(c); i++ {
+			if c[i] == 0x00 {
+				out = append(out, 0x00, 0xFF)
+			} else {
+				out = append(out, c[i])
+			}
+		}
+		out = append(out, 0x00, 0x01)
+	}
+	return string(out)
+}
+
+// DecodeTuple reverses Tuple, splitting an encoded key back into its
+// components. Malformed input — a dangling escape byte, an unknown
+// escape, or a missing terminator — returns an error.
+func DecodeTuple(s string) ([]string, error) {
+	var out []string
+	var cur []byte
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b != 0x00 {
+			cur = append(cur, b)
+			continue
+		}
+		if i+1 >= len(s) {
+			return nil, errors.New("keycodec: tuple truncated inside escape")
+		}
+		i++
+		switch s[i] {
+		case 0xFF:
+			cur = append(cur, 0x00)
+		case 0x01:
+			out = append(out, string(cur))
+			cur = cur[:0]
+		default:
+			return nil, fmt.Errorf("keycodec: tuple has invalid escape byte 0x%02x", s[i])
+		}
+	}
+	if len(cur) != 0 {
+		return nil, errors.New("keycodec: tuple missing terminator")
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package keycodec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// cmp maps a comparison to -1/0/+1 so differently-typed orders can be
+// checked against the encoded string order.
+func cmp[T int64 | uint64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestScalarCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	u64s := []uint64{0, 1, 255, 256, 1 << 31, 1 << 63, math.MaxUint64}
+	i64s := []int64{math.MinInt64, -1 << 31, -256, -1, 0, 1, 255, 1 << 31, math.MaxInt64}
+	f64s := []float64{math.Inf(-1), -math.MaxFloat64, -1.5, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1.5, math.MaxFloat64, math.Inf(1)}
+	for i := 0; i < 200; i++ {
+		u64s = append(u64s, rng.Uint64())
+		i64s = append(i64s, int64(rng.Uint64()))
+		f64s = append(f64s, rng.NormFloat64()*math.Pow(10, float64(rng.Intn(60)-30)))
+	}
+	for _, a := range u64s {
+		for _, b := range u64s {
+			if cmp(Uint64(a), Uint64(b)) != cmp(a, b) {
+				t.Fatalf("Uint64 order broken: %d vs %d", a, b)
+			}
+		}
+		if got, err := DecodeUint64(Uint64(a)); err != nil || got != a {
+			t.Fatalf("Uint64 round-trip: %d -> %d, %v", a, got, err)
+		}
+	}
+	for _, a := range i64s {
+		for _, b := range i64s {
+			if cmp(Int64(a), Int64(b)) != cmp(a, b) {
+				t.Fatalf("Int64 order broken: %d vs %d", a, b)
+			}
+		}
+		if got, err := DecodeInt64(Int64(a)); err != nil || got != a {
+			t.Fatalf("Int64 round-trip: %d -> %d, %v", a, got, err)
+		}
+	}
+	for _, a := range f64s {
+		for _, b := range f64s {
+			if cmp(Float64(a), Float64(b)) != cmp(a, b) {
+				t.Fatalf("Float64 order broken: %v vs %v", a, b)
+			}
+		}
+		// Numeric equality: -0 intentionally round-trips to +0.
+		got, err := DecodeFloat64(Float64(a))
+		if err != nil || got != a {
+			t.Fatalf("Float64 round-trip: %v -> %v, %v", a, got, err)
+		}
+	}
+}
+
+func TestFloat64NaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Float64(NaN) did not panic")
+		}
+	}()
+	Float64(math.NaN())
+}
+
+func TestTimeCodec(t *testing.T) {
+	times := []time.Time{
+		time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(1969, 7, 20, 20, 17, 40, 0, time.UTC),
+		time.Date(2026, 8, 8, 12, 0, 0, 999, time.UTC),
+		time.Date(2200, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	for _, a := range times {
+		for _, b := range times {
+			want := 0
+			if a.Before(b) {
+				want = -1
+			} else if a.After(b) {
+				want = 1
+			}
+			if cmp(Time(a), Time(b)) != want {
+				t.Fatalf("Time order broken: %v vs %v", a, b)
+			}
+		}
+		got, err := DecodeTime(Time(a))
+		if err != nil || !got.Equal(a) {
+			t.Fatalf("Time round-trip: %v -> %v, %v", a, got, err)
+		}
+	}
+}
+
+func TestUUIDCodec(t *testing.T) {
+	a := [16]byte{0x12, 0x34}
+	got, err := DecodeUUID(UUID(a))
+	if err != nil || got != a {
+		t.Fatalf("UUID round-trip: %v -> %v, %v", a, got, err)
+	}
+	if _, err := DecodeUUID("short"); err == nil {
+		t.Fatal("DecodeUUID accepted a short key")
+	}
+}
+
+// tupleLess is the reference order: lexicographic, component by
+// component, with a shorter tuple that is a prefix sorting first.
+func tupleLess(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func TestTupleCodec(t *testing.T) {
+	cases := [][]string{
+		{},
+		{""},
+		{"", ""},
+		{"a"},
+		{"a", ""},
+		{"a", "b"},
+		{"ab"},
+		{"ab", ""},
+		{"a\x00"},
+		{"a\x00b"},
+		{"a\x01"},
+		{"\x00"},
+		{"\x00\x00"},
+		{"\x01"},
+		{"\xff"},
+		{Uint64(7), "suffix"},
+	}
+	for _, a := range cases {
+		for _, b := range cases {
+			if (Tuple(a...) < Tuple(b...)) != tupleLess(a, b) {
+				t.Fatalf("Tuple order broken: %q vs %q", a, b)
+			}
+		}
+		got, err := DecodeTuple(Tuple(a...))
+		if err != nil || len(got) != len(a) {
+			t.Fatalf("Tuple round-trip: %q -> %q, %v", a, got, err)
+		}
+		for i := range a {
+			if got[i] != a[i] {
+				t.Fatalf("Tuple round-trip: %q -> %q", a, got)
+			}
+		}
+	}
+	for _, bad := range []string{"\x00", "a", "\x00\x02", "\x00\x01x"} {
+		if _, err := DecodeTuple(bad); err == nil {
+			t.Fatalf("DecodeTuple(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// FuzzKeyCodec cross-checks every codec on fuzzer-chosen pairs: encoded
+// string order must equal the domain order, and decoding must round-trip.
+// The tuple case builds two-component tuples from the raw strings, which
+// exercises the escape/terminator machinery on arbitrary bytes.
+func FuzzKeyCodec(f *testing.F) {
+	f.Add(uint64(0), uint64(1), int64(-1), int64(1), 0.5, -0.5, "a", "ab")
+	f.Add(uint64(1<<63), uint64(math.MaxUint64), int64(math.MinInt64), int64(0),
+		math.Inf(-1), math.MaxFloat64, "a\x00", "a\x00\x01")
+	f.Fuzz(func(t *testing.T, ua, ub uint64, ia, ib int64, fa, fb float64, sa, sb string) {
+		if cmp(Uint64(ua), Uint64(ub)) != cmp(ua, ub) {
+			t.Fatalf("Uint64 order broken: %d vs %d", ua, ub)
+		}
+		if got, err := DecodeUint64(Uint64(ua)); err != nil || got != ua {
+			t.Fatalf("Uint64 round-trip: %d -> %d, %v", ua, got, err)
+		}
+		if cmp(Int64(ia), Int64(ib)) != cmp(ia, ib) {
+			t.Fatalf("Int64 order broken: %d vs %d", ia, ib)
+		}
+		if got, err := DecodeInt64(Int64(ia)); err != nil || got != ia {
+			t.Fatalf("Int64 round-trip: %d -> %d, %v", ia, got, err)
+		}
+		if fa == fa && fb == fb {
+			if cmp(Float64(fa), Float64(fb)) != cmp(fa, fb) {
+				t.Fatalf("Float64 order broken: %v vs %v", fa, fb)
+			}
+			got, err := DecodeFloat64(Float64(fa))
+			if err != nil || got != fa {
+				t.Fatalf("Float64 round-trip: %v -> %v, %v", fa, got, err)
+			}
+		}
+		ta, tb := []string{sa, sb}, []string{sb, sa}
+		if (Tuple(ta...) < Tuple(tb...)) != tupleLess(ta, tb) {
+			t.Fatalf("Tuple order broken: %q vs %q", ta, tb)
+		}
+		got, err := DecodeTuple(Tuple(ta...))
+		if err != nil || len(got) != 2 || got[0] != sa || got[1] != sb {
+			t.Fatalf("Tuple round-trip: %q -> %q, %v", ta, got, err)
+		}
+	})
+}

@@ -131,12 +131,26 @@ type ostate[K Key, V any] struct {
 // matches for keys[i]: the first dels[i] matches in Each order are treated
 // as removed. adds[i] holds pending inserts for keys[i] in insertion
 // order.
+//
+// An entry's tombstones use exactly one of two forms. The common counted
+// form is dels[i] with tombs[i] == nil — pure anonymous deletes, the fast
+// path every Delete-only workload stays on. Once a DeleteValue touches
+// the entry it switches to the list form: tombs[i] holds the ordered
+// core.Tomb list (anonymous deletes travel inside it as Any entries so
+// recording order is preserved) and dels[i] is 0. delN counts tombstones
+// across both forms.
 type odelta[K Key, V any] struct {
-	keys []K
-	adds [][]V
-	dels []int
-	addN int // total pending inserts
-	delN int // total pending deletions
+	keys  []K
+	adds  [][]V
+	dels  []int
+	tombs [][]core.Tomb[V]
+	addN  int // total pending inserts
+	delN  int // total pending deletions
+}
+
+// entryTombs returns application state for entry i's tombstones.
+func (d *odelta[K, V]) entryTombs(i int) core.TombSet[V] {
+	return core.NewTombSet(d.dels[i], d.tombs[i])
 }
 
 // pending returns the delta's total pending op count.
@@ -377,8 +391,9 @@ func (o *Optimistic[K, V]) Insert(k K, v V) {
 // because a freeze pushed it onto the frozen ladder — depends on
 // background flush timing, so among duplicates holding distinct values
 // the victim can vary from run to run; workloads that need a
-// deterministic victim should disable async flushing
-// (SetAsyncFlush(false)) or quiesce with SyncFlush before deleting.
+// deterministic victim should name it with DeleteValue, or disable async
+// flushing (SetAsyncFlush(false)) / quiesce with SyncFlush before
+// deleting.
 func (o *Optimistic[K, V]) Delete(k K) bool {
 	// Same guard as Insert: a NaN key compares false against everything,
 	// so it would corrupt the sorted-delta invariant silently.
@@ -389,6 +404,30 @@ func (o *Optimistic[K, V]) Delete(k K) bool {
 	defer o.mu.Unlock()
 	st := o.state.Load()
 	nd, ok := st.withDelete(k)
+	if !ok {
+		return false
+	}
+	o.publishWrite(o.maybeFlush(&ostate[K, V]{tree: st.tree, frozen: st.frozen, delta: nd, size: st.size - 1}))
+	return true
+}
+
+// DeleteValue removes one element with key k whose value equals v under
+// Go equality, reporting whether one was removed. Unlike Delete, the
+// victim among distinct-valued duplicates is named by the caller, so the
+// outcome cannot depend on where background flush boundaries fell: a
+// pending insert of (k, v) is consumed first, newest first, and otherwise
+// the delta records a value tombstone that deletes the first live match
+// carrying v in scan order wherever it currently resides — page data,
+// frozen layer, or a flushed page later. It panics for non-comparable
+// value types.
+func (o *Optimistic[K, V]) DeleteValue(k K, v V) bool {
+	if k != k {
+		panic("fitingtree: DeleteValue with NaN key")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := o.state.Load()
+	nd, ok := st.withDeleteValue(k, v)
 	if !ok {
 		return false
 	}
@@ -588,19 +627,14 @@ func (o *Optimistic[K, V]) compactPair(st *ostate[K, V], i int) {
 // decisions is computed against tree ⊕ frozen[0..i-1], the exact view
 // layer i's own tombstones are relative to.
 func (st *ostate[K, V]) compactLayers(i int) *odelta[K, V] {
-	countBeneath := func(k K, limit int) int {
+	eachBeneath := func(k K, fn func(V) bool) {
 		f := st.tree.Each
 		for _, d := range st.frozen[:i] {
 			f = overlayEach(f, d)
 		}
-		n := 0
-		f(k, func(V) bool {
-			n++
-			return n < limit
-		})
-		return n
+		f(k, fn)
 	}
-	ops := core.CompactOps(st.frozen[i].ops(), st.frozen[i+1].ops(), countBeneath)
+	ops := core.CompactOps(st.frozen[i].ops(), st.frozen[i+1].ops(), eachBeneath)
 	return deltaFromOps(ops)
 }
 
@@ -640,7 +674,7 @@ func (st *ostate[K, V]) fold() *Tree[K, V] {
 func (d *odelta[K, V]) ops() []core.MergeOp[K, V] {
 	ops := make([]core.MergeOp[K, V], len(d.keys))
 	for i, k := range d.keys {
-		ops[i] = core.MergeOp[K, V]{Key: k, Adds: d.adds[i], Dels: d.dels[i]}
+		ops[i] = core.MergeOp[K, V]{Key: k, Adds: d.adds[i], Dels: d.dels[i], Tombs: d.tombs[i]}
 	}
 	return ops
 }
@@ -648,16 +682,18 @@ func (d *odelta[K, V]) ops() []core.MergeOp[K, V] {
 // deltaFromOps builds a delta from a sorted op list (CompactOps output).
 func deltaFromOps[K Key, V any](ops []core.MergeOp[K, V]) *odelta[K, V] {
 	d := &odelta[K, V]{
-		keys: make([]K, len(ops)),
-		adds: make([][]V, len(ops)),
-		dels: make([]int, len(ops)),
+		keys:  make([]K, len(ops)),
+		adds:  make([][]V, len(ops)),
+		dels:  make([]int, len(ops)),
+		tombs: make([][]core.Tomb[V], len(ops)),
 	}
 	for i, op := range ops {
 		d.keys[i] = op.Key
 		d.adds[i] = op.Adds
 		d.dels[i] = op.Dels
+		d.tombs[i] = op.Tombs
 		d.addN += len(op.Adds)
-		d.delN += op.Dels
+		d.delN += op.Dels + len(op.Tombs)
 	}
 	return d
 }
@@ -668,20 +704,23 @@ func (st *ostate[K, V]) lookup(k K) (V, bool) {
 	// to top (active delta). Most lookups miss every layer and fall
 	// through to the plain tree read.
 	type layerEntry struct {
-		dels int
-		adds []V
+		dels  int
+		adds  []V
+		tombs []core.Tomb[V]
 	}
 	entries := make([]layerEntry, 0, 8)
 	totalDels := 0
+	hasList := false
 	hit := false
 	collect := func(d *odelta[K, V]) {
 		var e layerEntry
 		if i, ok := d.find(k); ok {
-			e.dels, e.adds = d.dels[i], d.adds[i]
+			e.dels, e.adds, e.tombs = d.dels[i], d.adds[i], d.tombs[i]
 			hit = true
 		}
 		entries = append(entries, e)
-		totalDels += e.dels
+		totalDels += e.dels + len(e.tombs)
+		hasList = hasList || len(e.tombs) > 0
 	}
 	for _, d := range st.frozen {
 		collect(d)
@@ -704,20 +743,44 @@ func (st *ostate[K, V]) lookup(k K) (V, bool) {
 	// then the oldest surviving adds of the layers beneath (scan order);
 	// its own adds stack on top, out of reach of anything below.
 	limit := totalDels + 1
-	base := make([]V, 0, min(limit, 4))
+	if hasList {
+		// A value tombstone skips past non-matching duplicates, so whether
+		// it lands on a base match or on a lower layer's add can depend on
+		// matches arbitrarily deep in the run; materialize them all.
+		limit = int(^uint(0) >> 1)
+	}
+	base := make([]V, 0, min(totalDels+1, 4))
 	st.tree.Each(k, func(v V) bool {
 		base = append(base, v)
 		return len(base) < limit
 	})
 	var adds []V
 	for _, e := range entries {
-		drop := e.dels
-		if c := min(drop, len(base)); c > 0 {
-			base = base[c:]
-			drop -= c
-		}
-		if drop > 0 {
-			adds = adds[min(drop, len(adds)):]
+		if len(e.tombs) > 0 {
+			ts := core.NewTombSet(0, e.tombs)
+			nb := make([]V, 0, len(base))
+			for _, v := range base {
+				if !ts.Consume(v) {
+					nb = append(nb, v)
+				}
+			}
+			base = nb
+			na := make([]V, 0, len(adds))
+			for _, v := range adds {
+				if !ts.Consume(v) {
+					na = append(na, v)
+				}
+			}
+			adds = na
+		} else {
+			drop := e.dels
+			if c := min(drop, len(base)); c > 0 {
+				base = base[c:]
+				drop -= c
+			}
+			if drop > 0 {
+				adds = adds[min(drop, len(adds)):]
+			}
 		}
 		if len(e.adds) > 0 {
 			adds = append(adds[:len(adds):len(adds)], e.adds...)
@@ -736,8 +799,9 @@ func (st *ostate[K, V]) lookup(k K) (V, bool) {
 // eachFn yields every match of one key in scan order.
 type eachFn[K Key, V any] func(k K, fn func(v V) bool)
 
-// overlayEach layers one delta over a per-key match sequence: tombstones
-// skip the head of the base sequence, pending inserts append after it.
+// overlayEach layers one delta over a per-key match sequence: counted
+// tombstones skip the head of the base sequence, value tombstones skip
+// the first equal-valued match, and pending inserts append after it.
 // Applying it once per layer, bottom to top, yields the facade's full
 // N-layer read protocol.
 func overlayEach[K Key, V any](base eachFn[K, V], d *odelta[K, V]) eachFn[K, V] {
@@ -745,16 +809,14 @@ func overlayEach[K Key, V any](base eachFn[K, V], d *odelta[K, V]) eachFn[K, V] 
 		return base
 	}
 	return func(k K, fn func(v V) bool) {
-		skip := 0
+		var ts core.TombSet[V]
 		var adds []V
 		if i, ok := d.find(k); ok {
-			skip, adds = d.dels[i], d.adds[i]
+			ts, adds = d.entryTombs(i), d.adds[i]
 		}
 		stopped := false
-		n := 0
 		base(k, func(v V) bool {
-			if n < skip {
-				n++
+			if ts.Consume(v) {
 				return true
 			}
 			if !fn(v) {
@@ -797,8 +859,9 @@ func (st *ostate[K, V]) each(k K, fn func(v V) bool) {
 // lo <= key <= hi in ascending key order.
 type scanFn[K Key, V any] func(lo, hi K, fn func(k K, v V) bool)
 
-// overlayScan layers one delta over an ordered range scan: per key,
-// tombstones skip the head of the underlying match run and pending
+// overlayScan layers one delta over an ordered range scan: per key, the
+// entry's tombstones consume matches of the underlying run (counted ones
+// its head, value ones each their first equal-valued match) and pending
 // inserts are emitted after it, with delta-only keys merged in key order.
 // Like overlayEach, one application per layer produces the N-layer
 // protocol.
@@ -828,20 +891,19 @@ func overlayScan[K Key, V any](base scanFn[K, V], d *odelta[K, V]) scanFn[K, V] 
 		stopped := false
 		var cur K
 		haveCur := false
-		skip, seen := 0, 0
+		var ts core.TombSet[V]
 		base(lo, hi, func(k K, v V) bool {
 			if !haveCur || k != cur {
 				if !emitDeltaTo(k, false) {
 					stopped = true
 					return false
 				}
-				haveCur, cur, seen, skip = true, k, 0, 0
+				haveCur, cur, ts = true, k, core.TombSet[V]{}
 				if di < len(d.keys) && d.keys[di] == k {
-					skip = d.dels[di]
+					ts = d.entryTombs(di)
 				}
 			}
-			if seen < skip {
-				seen++
+			if ts.Consume(v) {
 				return true
 			}
 			if !fn(k, v) {
@@ -901,7 +963,7 @@ func (st *ostate[K, V]) withDelete(k K) (*odelta[K, V], bool) {
 	d := st.delta
 	i, found := d.find(k)
 	if found && len(d.adds[i]) > 0 {
-		if len(d.adds[i]) == 1 && d.dels[i] == 0 {
+		if len(d.adds[i]) == 1 && d.dels[i] == 0 && d.tombs[i] == nil {
 			return d.without(i), true
 		}
 		nd := d.clone(i, false)
@@ -909,29 +971,102 @@ func (st *ostate[K, V]) withDelete(k K) (*odelta[K, V], bool) {
 		nd.addN--
 		return nd, true
 	}
-	skip := 0
-	if found {
-		skip = d.dels[i]
-	}
 	// The new tombstone needs a live match in the layered view beneath
 	// the active delta: surviving base matches, then each frozen layer's
-	// surviving adds, bottom to top. Frozen layers are immutable (a
-	// background merge may be reading them), so even when the victim is a
-	// frozen add the delete is recorded as one more active tombstone —
-	// the "first N in scan order" accounting reaches down through every
-	// layer.
-	need := skip + 1
-	n := 0
-	st.beneathActive()(k, func(V) bool {
-		n++
-		return n < need
+	// surviving adds, bottom to top, after this entry's existing
+	// tombstones. Frozen layers are immutable (a background merge may be
+	// reading them), so even when the victim is a frozen add the delete is
+	// recorded as one more active tombstone — the accounting reaches down
+	// through every layer.
+	var ts core.TombSet[V]
+	if found {
+		ts = d.entryTombs(i)
+	}
+	alive := false
+	st.beneathActive()(k, func(v V) bool {
+		if ts.Consume(v) {
+			return true
+		}
+		alive = true
+		return false
 	})
-	if n < need {
+	if !alive {
 		return nil, false
 	}
 	nd := d.clone(i, !found)
 	nd.keys[i] = k
-	nd.dels[i]++
+	if nd.tombs[i] != nil {
+		// List form: anonymous deletes join the list so ordering against
+		// the entry's value tombstones is preserved. The cap trim forces
+		// the append to copy, never mutating the shared inner slice.
+		t := nd.tombs[i]
+		nd.tombs[i] = append(t[:len(t):len(t)], core.Tomb[V]{Any: true})
+	} else {
+		nd.dels[i]++
+	}
+	nd.delN++
+	return nd, true
+}
+
+// withDeleteValue returns a copy of the state's active delta with one
+// element of key k whose value equals v removed, or ok=false when no such
+// live element exists. The newest equal-valued pending insert in the
+// active delta is consumed first; otherwise a value tombstone is recorded
+// after verifying an equal-valued match survives in the layered view
+// beneath the active delta, switching the entry to the ordered-list
+// tombstone form.
+func (st *ostate[K, V]) withDeleteValue(k K, v V) (*odelta[K, V], bool) {
+	d := st.delta
+	i, found := d.find(k)
+	if found {
+		for j := len(d.adds[i]) - 1; j >= 0; j-- {
+			if any(d.adds[i][j]) != any(v) {
+				continue
+			}
+			if len(d.adds[i]) == 1 && d.dels[i] == 0 && d.tombs[i] == nil {
+				return d.without(i), true
+			}
+			nd := d.clone(i, false)
+			entry := make([]V, 0, len(nd.adds[i])-1)
+			entry = append(entry, nd.adds[i][:j]...)
+			entry = append(entry, nd.adds[i][j+1:]...)
+			nd.adds[i] = entry
+			nd.addN--
+			return nd, true
+		}
+	}
+	var ts core.TombSet[V]
+	if found {
+		ts = d.entryTombs(i)
+	}
+	alive := false
+	st.beneathActive()(k, func(w V) bool {
+		if ts.Consume(w) {
+			return true
+		}
+		if any(w) == any(v) {
+			alive = true
+			return false
+		}
+		return true
+	})
+	if !alive {
+		return nil, false
+	}
+	nd := d.clone(i, !found)
+	nd.keys[i] = k
+	list := nd.tombs[i]
+	if list == nil && nd.dels[i] > 0 {
+		// Switch the entry to list form: existing anonymous tombstones
+		// become Any entries ahead of the new value entry, preserving
+		// recording order.
+		list = make([]core.Tomb[V], nd.dels[i])
+		for j := range list {
+			list[j].Any = true
+		}
+		nd.dels[i] = 0
+	}
+	nd.tombs[i] = append(list[:len(list):len(list)], core.Tomb[V]{Val: v})
 	nd.delN++
 	return nd, true
 }
@@ -948,18 +1083,21 @@ func (d *odelta[K, V]) clone(i int, insert bool) *odelta[K, V] {
 		grow = 1
 	}
 	nd := &odelta[K, V]{
-		keys: make([]K, n+grow),
-		adds: make([][]V, n+grow),
-		dels: make([]int, n+grow),
+		keys:  make([]K, n+grow),
+		adds:  make([][]V, n+grow),
+		dels:  make([]int, n+grow),
+		tombs: make([][]core.Tomb[V], n+grow),
 	}
 	if d != nil {
 		nd.addN, nd.delN = d.addN, d.delN
 		copy(nd.keys[:i], d.keys[:i])
 		copy(nd.adds[:i], d.adds[:i])
 		copy(nd.dels[:i], d.dels[:i])
+		copy(nd.tombs[:i], d.tombs[:i])
 		copy(nd.keys[i+grow:], d.keys[i:])
 		copy(nd.adds[i+grow:], d.adds[i:])
 		copy(nd.dels[i+grow:], d.dels[i:])
+		copy(nd.tombs[i+grow:], d.tombs[i:])
 	}
 	return nd
 }
@@ -971,18 +1109,21 @@ func (d *odelta[K, V]) without(i int) *odelta[K, V] {
 		return nil
 	}
 	nd := &odelta[K, V]{
-		keys: make([]K, len(d.keys)-1),
-		adds: make([][]V, len(d.adds)-1),
-		dels: make([]int, len(d.dels)-1),
-		addN: d.addN - len(d.adds[i]),
-		delN: d.delN - d.dels[i],
+		keys:  make([]K, len(d.keys)-1),
+		adds:  make([][]V, len(d.adds)-1),
+		dels:  make([]int, len(d.dels)-1),
+		tombs: make([][]core.Tomb[V], len(d.tombs)-1),
+		addN:  d.addN - len(d.adds[i]),
+		delN:  d.delN - d.dels[i] - len(d.tombs[i]),
 	}
 	copy(nd.keys, d.keys[:i])
 	copy(nd.adds, d.adds[:i])
 	copy(nd.dels, d.dels[:i])
+	copy(nd.tombs, d.tombs[:i])
 	copy(nd.keys[i:], d.keys[i+1:])
 	copy(nd.adds[i:], d.adds[i+1:])
 	copy(nd.dels[i:], d.dels[i+1:])
+	copy(nd.tombs[i:], d.tombs[i+1:])
 	return nd
 }
 

@@ -1,0 +1,185 @@
+package fitingtree_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"fitingtree"
+)
+
+// TestSecondaryUnderConcurrentWrites stress-tests a Secondary maintained
+// by parallel writers over each concurrent backend: every posting
+// mutation (Insert or exact-victim Delete) is paired with the same
+// mutation on a striped reference map, goroutines interleave on
+// different keys, and concurrent readers scan while writes are in
+// flight. After quiescing, the index's posting lists must equal the
+// reference exactly — DeleteValue's named-victim semantics are what make
+// that equality hold regardless of background flush timing. Run with
+// -race in CI.
+func TestSecondaryUnderConcurrentWrites(t *testing.T) {
+	backends := []struct {
+		name  string
+		build func(t *testing.T) fitingtree.Index[uint64, int]
+	}{
+		{"optimistic", func(t *testing.T) fitingtree.Index[uint64, int] {
+			empty, err := fitingtree.BulkLoad[uint64, int](nil, nil, fitingtree.Options{Error: 16, BufferSize: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := fitingtree.NewOptimistic(empty)
+			o.SetFlushEvery(32)
+			t.Cleanup(o.Close)
+			return o
+		}},
+		{"sharded", func(t *testing.T) fitingtree.Index[uint64, int] {
+			empty, err := fitingtree.BulkLoad[uint64, int](nil, nil, fitingtree.Options{Error: 16, BufferSize: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := fitingtree.NewSharded(empty, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetFlushEvery(32)
+			t.Cleanup(s.Close)
+			return s
+		}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) { testSecondaryStress(t, b.build(t)) })
+	}
+}
+
+func testSecondaryStress(t *testing.T, backend fitingtree.Index[uint64, int]) {
+	const (
+		workers  = 4
+		opsEach  = 2_000
+		keySpace = 64 // small: heavy duplication, many per-key postings
+		stripes  = 16
+	)
+	idx := fitingtree.NewSecondary[uint64, int](backend)
+
+	// Striped reference: stripe k's lock makes the backend mutation and
+	// the reference mutation one transaction, while different keys
+	// proceed in parallel — the discipline a heap table would use.
+	var locks [stripes]sync.Mutex
+	refs := make([]map[uint64]map[int]bool, stripes)
+	for i := range refs {
+		refs[i] = make(map[uint64]map[int]bool)
+	}
+	var rowSeq sync.Mutex
+	nextRow := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for op := 0; op < opsEach; op++ {
+				k := uint64(rng.Intn(keySpace))
+				s := int(k % stripes)
+				if rng.Intn(3) > 0 { // 2/3 inserts
+					rowSeq.Lock()
+					row := nextRow
+					nextRow++
+					rowSeq.Unlock()
+					locks[s].Lock()
+					idx.Insert(k, row)
+					if refs[s][k] == nil {
+						refs[s][k] = make(map[int]bool)
+					}
+					refs[s][k][row] = true
+					locks[s].Unlock()
+				} else {
+					locks[s].Lock()
+					var victim, found = 0, false
+					for r := range refs[s][k] {
+						victim, found = r, true
+						break
+					}
+					if found {
+						if !idx.Delete(k, victim) {
+							locks[s].Unlock()
+							t.Errorf("Delete(%d, %d) missed a posting the reference holds", k, victim)
+							return
+						}
+						delete(refs[s][k], victim)
+					} else if idx.Delete(k, -1) {
+						locks[s].Unlock()
+						t.Errorf("Delete(%d, -1) removed a posting that never existed", k)
+						return
+					}
+					locks[s].Unlock()
+				}
+			}
+		}(w)
+	}
+
+	// Concurrent readers: scans must never crash, return a key outside
+	// the requested range, or yield a row id that was never issued.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := uint64(rng.Intn(keySpace))
+				hi := lo + uint64(rng.Intn(8))
+				idx.RangeRows(lo, hi, func(k uint64, row int) bool {
+					if k < lo || k > hi {
+						t.Errorf("scan [%d,%d] returned key %d", lo, hi, k)
+						return false
+					}
+					if row < 0 {
+						t.Errorf("scan returned impossible row %d", row)
+						return false
+					}
+					return true
+				})
+				idx.Rows(uint64(rng.Intn(keySpace)))
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: posting lists must equal the reference exactly.
+	want := 0
+	for k := uint64(0); k < keySpace; k++ {
+		ref := refs[k%stripes][k]
+		want += len(ref)
+		got := idx.Rows(k)
+		if len(got) != len(ref) {
+			t.Fatalf("key %d: %d postings, want %d", k, len(got), len(ref))
+		}
+		sort.Ints(got)
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Fatalf("key %d: duplicate posting %d", k, got[i])
+			}
+		}
+		for _, row := range got {
+			if !ref[row] {
+				t.Fatalf("key %d: posting %d not in reference", k, row)
+			}
+		}
+	}
+	if idx.Len() != want {
+		t.Fatalf("Len = %d, want %d", idx.Len(), want)
+	}
+}

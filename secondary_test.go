@@ -1,17 +1,18 @@
-package core
+package fitingtree_test
 
 import (
 	"math/rand"
 	"sort"
 	"testing"
 
+	"fitingtree"
 	"fitingtree/internal/workload"
 )
 
 func TestSecondaryBuildAndRows(t *testing.T) {
 	// An unsorted column with duplicates.
 	column := []uint64{50, 10, 30, 10, 50, 50, 20, 10}
-	s, err := BuildSecondary(column, Options{Error: 4, BufferSize: 2})
+	s, err := fitingtree.BuildSecondary(column, fitingtree.Options{Error: 4, BufferSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestSecondaryRange(t *testing.T) {
 	// Shuffle to make it a genuine heap-table column.
 	rng := rand.New(rand.NewSource(12))
 	rng.Shuffle(len(column), func(i, j int) { column[i], column[j] = column[j], column[i] })
-	s, err := BuildSecondary(column, Options{Error: 100})
+	s, err := fitingtree.BuildSecondary(column, fitingtree.Options{Error: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestSecondaryRange(t *testing.T) {
 
 func TestSecondaryInsertDelete(t *testing.T) {
 	column := []uint64{5, 5, 5, 9}
-	s, err := BuildSecondary(column, Options{Error: 4, BufferSize: 2})
+	s, err := fitingtree.BuildSecondary(column, fitingtree.Options{Error: 4, BufferSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestSecondaryLargeRandom(t *testing.T) {
 	for i := range column {
 		column[i] = uint64(rng.Intn(2000)) // heavy duplication
 	}
-	s, err := BuildSecondary(column, Options{Error: 60})
+	s, err := fitingtree.BuildSecondary(column, fitingtree.Options{Error: 60})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestSecondaryLargeRandom(t *testing.T) {
 
 func TestSecondaryStats(t *testing.T) {
 	column := workload.MapsLongitude(50_000, 14)
-	s, err := BuildSecondary(column, Options{Error: 100})
+	s, err := fitingtree.BuildSecondary(column, fitingtree.Options{Error: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -572,6 +572,25 @@ func (s *Sharded[K, V]) Delete(k K) bool {
 	return ok
 }
 
+// DeleteValue removes one element with key k whose value equals v under
+// Go equality from the owning shard, reporting whether one was removed;
+// victim semantics are Optimistic.DeleteValue's (the caller names the
+// victim, so the outcome is independent of flush timing). Panics on a NaN
+// key and for non-comparable value types.
+func (s *Sharded[K, V]) DeleteValue(k K, v V) bool {
+	if k != k {
+		panic("fitingtree: DeleteValue with NaN key")
+	}
+	s.reshape.RLock()
+	ss := s.set.Load()
+	ok := ss.shards[ss.shardFor(k)].DeleteValue(k, v)
+	s.reshape.RUnlock()
+	if ok {
+		s.maybeRebalance()
+	}
+	return ok
+}
+
 // maybeRebalance runs the skew check on one write in shardSkewCheckEvery
 // and triggers a boundary rebuild when it reports drift.
 func (s *Sharded[K, V]) maybeRebalance() {

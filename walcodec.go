@@ -11,12 +11,13 @@ import (
 
 // This file encodes single write operations for the WAL. A record is
 //
-//	op byte | u64 key bits | value bytes (inserts only)
+//	op byte | key bytes | value bytes (inserts and value deletes only)
 //
 // Key is a ~-constrained generic, so the key's underlying kind is resolved
 // once per codec with reflection and cached; integers round-trip through
-// their two's-complement bits and floats through math.Float64bits (exact
-// for float32 as well, since float32 -> float64 is lossless). Values of
+// their two's-complement bits as a fixed 8-byte field, floats through
+// math.Float64bits (exact for float32 as well, since float32 -> float64 is
+// lossless), and string kinds as a u32 length prefix plus bytes. Values of
 // numeric, bool, and string kinds use the same compact paths; any other
 // value type falls back to a self-describing gob stream per record —
 // bulkier, but the WAL holds only the un-checkpointed tail, so compactness
@@ -24,8 +25,9 @@ import (
 
 // Op codes stored in a WAL record's first byte.
 const (
-	walOpInsert byte = 1
-	walOpDelete byte = 2
+	walOpInsert      byte = 1
+	walOpDelete      byte = 2
+	walOpDeleteValue byte = 3
 )
 
 // opCodec converts between (op, key, value) and WAL record payloads for
@@ -43,22 +45,46 @@ func newOpCodec[K Key, V any]() opCodec[K, V] {
 	return opCodec[K, V]{ktype: kt, kkind: kt.Kind(), vkind: vt.Kind()}
 }
 
-// keyBits maps a key to its 8-byte wire form.
-func (c *opCodec[K, V]) keyBits(k K) uint64 {
+// appendKey appends k's wire form: a fixed 8-byte field for numeric
+// kinds, a u32 length prefix plus bytes for string kinds.
+func (c *opCodec[K, V]) appendKey(buf []byte, k K) []byte {
 	rv := reflect.ValueOf(k)
 	switch c.kkind {
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		return uint64(rv.Int())
+		return binary.LittleEndian.AppendUint64(buf, uint64(rv.Int()))
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		return rv.Uint()
+		return binary.LittleEndian.AppendUint64(buf, rv.Uint())
+	case reflect.String:
+		s := rv.String()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		return append(buf, s...)
 	default:
-		return math.Float64bits(rv.Float())
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(rv.Float()))
 	}
 }
 
-// keyFromBits inverts keyBits.
-func (c *opCodec[K, V]) keyFromBits(b uint64) K {
+// decodeKey inverts appendKey, returning the bytes past the key field.
+func (c *opCodec[K, V]) decodeKey(data []byte) (K, []byte, error) {
 	rv := reflect.New(c.ktype).Elem()
+	if c.kkind == reflect.String {
+		if len(data) < 4 {
+			var zero K
+			return zero, nil, fmt.Errorf("fitingtree: wal record of %d bytes is too short", len(data)+1)
+		}
+		l := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if l < 0 || len(data) < l {
+			var zero K
+			return zero, nil, fmt.Errorf("fitingtree: wal record key claims %d bytes, %d remain", l, len(data))
+		}
+		rv.SetString(string(data[:l]))
+		return rv.Interface().(K), data[l:], nil
+	}
+	if len(data) < 8 {
+		var zero K
+		return zero, nil, fmt.Errorf("fitingtree: wal record of %d bytes is too short", len(data)+1)
+	}
+	b := binary.LittleEndian.Uint64(data)
 	switch c.kkind {
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
 		rv.SetInt(int64(b))
@@ -67,7 +93,7 @@ func (c *opCodec[K, V]) keyFromBits(b uint64) K {
 	default:
 		rv.SetFloat(math.Float64frombits(b))
 	}
-	return rv.Interface().(K)
+	return rv.Interface().(K), data[8:], nil
 }
 
 // appendValue appends v's wire form to buf.
@@ -138,31 +164,35 @@ func (c *opCodec[K, V]) decodeValue(data []byte) (V, error) {
 	return v, nil
 }
 
-// encodeOp builds one WAL record payload.
+// encodeOp builds one WAL record payload. Insert and value-delete records
+// carry the value; anonymous deletes stop after the key.
 func (c *opCodec[K, V]) encodeOp(op byte, k K, v V) ([]byte, error) {
-	buf := make([]byte, 9, 24)
+	buf := make([]byte, 1, 24)
 	buf[0] = op
-	binary.LittleEndian.PutUint64(buf[1:], c.keyBits(k))
-	if op == walOpInsert {
+	buf = c.appendKey(buf, k)
+	if op == walOpInsert || op == walOpDeleteValue {
 		return c.appendValue(buf, v)
 	}
 	return buf, nil
 }
 
-// decodeOp parses one WAL record payload. Delete records carry no value;
-// the zero V is returned for them.
+// decodeOp parses one WAL record payload. Anonymous delete records carry
+// no value; the zero V is returned for them.
 func (c *opCodec[K, V]) decodeOp(payload []byte) (op byte, k K, v V, err error) {
-	if len(payload) < 9 {
+	if len(payload) < 1 {
 		return 0, k, v, fmt.Errorf("fitingtree: wal record of %d bytes is too short", len(payload))
 	}
 	op = payload[0]
-	k = c.keyFromBits(binary.LittleEndian.Uint64(payload[1:]))
+	var rest []byte
+	if k, rest, err = c.decodeKey(payload[1:]); err != nil {
+		return op, k, v, err
+	}
 	switch op {
-	case walOpInsert:
-		v, err = c.decodeValue(payload[9:])
+	case walOpInsert, walOpDeleteValue:
+		v, err = c.decodeValue(rest)
 	case walOpDelete:
-		if len(payload) != 9 {
-			err = fmt.Errorf("fitingtree: delete record carries %d trailing bytes", len(payload)-9)
+		if len(rest) != 0 {
+			err = fmt.Errorf("fitingtree: delete record carries %d trailing bytes", len(rest))
 		}
 	default:
 		err = fmt.Errorf("fitingtree: unknown wal op %d", op)
