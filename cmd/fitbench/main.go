@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, recovery, burst, strings, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, recovery, shardrecovery, burst, strings, all")
 		n        = flag.Int("n", 1_000_000, "base dataset size")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		probes   = flag.Int("probes", 100_000, "lookup probes per measurement")
@@ -72,6 +72,9 @@ func main() {
 		"recovery": func() {
 			writeRecoveryJSON(*jsonPath, cfg, bench.ExtRecovery(os.Stdout, cfg))
 		},
+		"shardrecovery": func() {
+			writeShardRecoveryJSON(*jsonPath, cfg, bench.ExtShardRecovery(os.Stdout, cfg))
+		},
 		"burst": func() {
 			writeBurstJSON(*jsonPath, cfg, bench.ExtBurst(os.Stdout, cfg))
 		},
@@ -84,6 +87,7 @@ func main() {
 			writeFlushStallJSON(suffixedPath(*jsonPath, "_flushstall"), cfg, bench.ExtFlushStall(os.Stdout, cfg))
 			writeFlushPubJSON(suffixedPath(*jsonPath, "_flushpub"), cfg, bench.ExtFlushPub(os.Stdout, cfg))
 			writeRecoveryJSON(suffixedPath(*jsonPath, "_recovery"), cfg, bench.ExtRecovery(os.Stdout, cfg))
+			writeShardRecoveryJSON(suffixedPath(*jsonPath, "_shardrecovery"), cfg, bench.ExtShardRecovery(os.Stdout, cfg))
 			writeBurstJSON(suffixedPath(*jsonPath, "_burst"), cfg, bench.ExtBurst(os.Stdout, cfg))
 			writeStringsJSON(suffixedPath(*jsonPath, "_strings"), cfg, bench.ExtStrings(os.Stdout, cfg))
 			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
@@ -95,9 +99,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "recovery": true, "burst": true, "strings": true, "all": true}
+	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "recovery": true, "shardrecovery": true, "burst": true, "strings": true, "all": true}
 	if *jsonPath != "" && !jsonExps[*exp] {
-		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, recovery, burst, strings, or all\n")
+		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, recovery, shardrecovery, burst, strings, or all\n")
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -166,6 +170,19 @@ func writeFlushPubJSON(path string, cfg bench.Config, points []bench.FlushPubPoi
 func writeRecoveryJSON(path string, cfg bench.Config, points []bench.RecoveryPoint) {
 	writeJSON(path, bench.RecoveryReport{
 		Experiment: "recovery",
+		N:          cfg.N,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	})
+}
+
+// writeShardRecoveryJSON writes the shardrecovery experiment's
+// machine-readable report to path; it is a no-op when path is empty.
+func writeShardRecoveryJSON(path string, cfg bench.Config, points []bench.ShardRecoveryPoint) {
+	writeJSON(path, bench.ShardRecoveryReport{
+		Experiment: "shardrecovery",
 		N:          cfg.N,
 		Seed:       cfg.Seed,
 		NumCPU:     runtime.NumCPU(),

@@ -55,6 +55,15 @@ type Durable[K Key, V any] struct {
 	log       *wal.Log
 	syncEvery int
 	unsynced  int
+	// failed poisons the write path: once a WAL append or sync errors, the
+	// log's tail state is unknown (a torn frame may sit where the next
+	// append would land, and anything written after it would be cut off by
+	// recovery), so every later write fails fast with this error instead of
+	// risking an acknowledged write that replay cannot see.
+	failed error
+	// walStats describes what recovery found in the log (satellites the
+	// torn-tail/corruption diagnostics out to operators via fitcli).
+	walStats wal.OpenStats
 
 	// ckptMu serializes checkpoints and guards the fields below.
 	ckptMu       sync.Mutex
@@ -114,27 +123,9 @@ func OpenDurable[K Key, V any](fsys wal.FS, dev pager.Device, opts Options) (*Du
 			return nil, err
 		}
 		usedOpts = m.Options
-		snaps := make([]core.ChunkSnap[K, V], len(m.Chunks))
-		// The blob buffer is recycled across chunks (Decode copies what it
-		// keeps); the chain ids accumulate directly into reachable.
-		var blob []byte
-		for i, head := range m.Chunks {
-			blob, reachable, err = store.GetChain(head, blob[:0], reachable)
-			if err != nil {
-				return nil, fmt.Errorf("fitingtree: checkpoint chunk %d: %w", i, err)
-			}
-			if snaps[i], err = snapCodec.Decode(blob); err != nil {
-				return nil, fmt.Errorf("fitingtree: checkpoint chunk %d: %w", i, err)
-			}
-		}
-		tree, err = core.AssembleChunks(snaps, usedOpts)
+		tree, reachable, err = loadCheckpointChunks(store, snapCodec, m.Chunks, usedOpts, heads, reachable)
 		if err != nil {
 			return nil, err
-		}
-		// Assembly creates one chunk per snapshot in order, so the fresh
-		// chunk ids pair positionally with the manifest's blob heads.
-		for i, id := range tree.ChunkIDs() {
-			heads[id] = m.Chunks[i]
 		}
 		mchain, err := store.Chain(super.Manifest)
 		if err != nil {
@@ -151,99 +142,16 @@ func OpenDurable[K Key, V any](fsys wal.FS, dev pager.Device, opts Options) (*Du
 	}
 	store.RebuildFree(reachable)
 
-	log, records, _, err := wal.Open(fsys, WALName)
+	log, records, walStats, err := wal.Open(fsys, WALName)
 	if err != nil {
 		return nil, err
 	}
 	log.SetNextLSN(replayFrom)
 	codec := newOpCodec[K, V]()
-	// Replay the tail as one batch instead of one facade write at a time:
-	// a long tail pushed through the ordinary insert path trips the flush
-	// threshold once per DefaultFlushEvery records and re-segments the
-	// same hot pages over and over, which dominates recovery. The buffer
-	// applies the write path's op semantics per key — an anonymous delete
-	// consumes the newest still-buffered insert for its key, else
-	// tombstones one more pre-existing match in scan order; a value
-	// delete consumes the newest still-buffered insert carrying its value,
-	// else records a value tombstone (every logged delete had a live
-	// victim when it was logged, and the WAL tail is a prefix-exact
-	// record of the ops that created it, so the tombstones can never
-	// exceed the checkpoint tree's matches) — then folds into the
-	// checkpoint tree with a single page-granular MergeCOW pass. Which of
-	// several distinct-valued duplicates an anonymous delete victimizes
-	// may differ from the original run's flush-timing-dependent choice;
-	// that choice was never acknowledged state (see Optimistic.Delete). A
-	// value delete replays exactly: its record names the victim.
-	adds := make(map[K][]V)
-	tombs := make(map[K][]core.Tomb[V])
-	replayed := 0
-	for _, r := range records {
-		if r.LSN < replayFrom {
-			// Covered by the checkpoint; the WAL just hasn't been
-			// truncated yet (crash between superblock commit and truncate).
-			continue
-		}
-		op, k, v, err := codec.decodeOp(r.Payload)
-		if err != nil {
-			log.Close()
-			return nil, fmt.Errorf("fitingtree: wal replay lsn %d: %w", r.LSN, err)
-		}
-		switch op {
-		case walOpInsert:
-			adds[k] = append(adds[k], v)
-		case walOpDelete:
-			if a := adds[k]; len(a) > 0 {
-				adds[k] = a[:len(a)-1]
-			} else {
-				tombs[k] = append(tombs[k], core.Tomb[V]{Any: true})
-			}
-		default: // walOpDeleteValue
-			a := adds[k]
-			consumed := false
-			for j := len(a) - 1; j >= 0; j-- {
-				if any(a[j]) == any(v) {
-					adds[k] = append(a[:j:j], a[j+1:]...)
-					consumed = true
-					break
-				}
-			}
-			if !consumed {
-				tombs[k] = append(tombs[k], core.Tomb[V]{Val: v})
-			}
-		}
-		replayed++
-	}
-	if replayed > 0 {
-		keys := make([]K, 0, len(adds)+len(tombs))
-		for k, a := range adds {
-			if len(a) > 0 || len(tombs[k]) > 0 {
-				keys = append(keys, k)
-			}
-		}
-		for k := range tombs {
-			if _, ok := adds[k]; !ok {
-				keys = append(keys, k)
-			}
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		ops := make([]core.MergeOp[K, V], len(keys))
-		for i, k := range keys {
-			ops[i] = core.MergeOp[K, V]{Key: k, Adds: adds[k]}
-			// Pure-anonymous lists collapse to the counted fast path.
-			anyOnly := true
-			for _, t := range tombs[k] {
-				if !t.Any {
-					anyOnly = false
-					break
-				}
-			}
-			if anyOnly {
-				ops[i].Dels = len(tombs[k])
-			} else {
-				ops[i].Tombs = tombs[k]
-			}
-		}
-		tree = tree.MergeCOW(ops)
+	tree, err = replayTail(tree, codec, records, replayFrom)
+	if err != nil {
+		log.Close()
+		return nil, err
 	}
 	opt := NewOptimistic(tree)
 
@@ -254,6 +162,7 @@ func OpenDurable[K Key, V any](fsys wal.FS, dev pager.Device, opts Options) (*Du
 		opts:         usedOpts,
 		log:          log,
 		syncEvery:    1,
+		walStats:     walStats,
 		store:        store,
 		epoch:        epoch,
 		heads:        heads,
@@ -340,6 +249,188 @@ func loadManifest(store *pager.Store, head pager.PageID) (manifest, error) {
 	return m, nil
 }
 
+// loadCheckpointChunks decodes the chunk blobs at chunkHeads and assembles
+// them into a tree, registering the fresh chunk id -> blob head pairs in
+// heads and appending every chain page to reachable. It is the
+// checkpoint-loading half shared by the single-tree and sharded recoveries
+// (the sharded one calls it once per shard into the same heads map — chunk
+// ids are process-unique, so one map serves the whole facade).
+func loadCheckpointChunks[K Key, V any](store *pager.Store, snapCodec core.SnapCodec[K, V],
+	chunkHeads []pager.PageID, opts Options, heads map[uint64]pager.PageID,
+	reachable []pager.PageID) (*Tree[K, V], []pager.PageID, error) {
+	snaps := make([]core.ChunkSnap[K, V], len(chunkHeads))
+	// The blob buffer is recycled across chunks (Decode copies what it
+	// keeps); the chain ids accumulate directly into reachable.
+	var blob []byte
+	var err error
+	for i, head := range chunkHeads {
+		blob, reachable, err = store.GetChain(head, blob[:0], reachable)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fitingtree: checkpoint chunk %d: %w", i, err)
+		}
+		if snaps[i], err = snapCodec.Decode(blob); err != nil {
+			return nil, nil, fmt.Errorf("fitingtree: checkpoint chunk %d: %w", i, err)
+		}
+	}
+	tree, err := core.AssembleChunks(snaps, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Assembly creates one chunk per snapshot in order, so the fresh
+	// chunk ids pair positionally with the manifest's blob heads.
+	for i, id := range tree.ChunkIDs() {
+		heads[id] = chunkHeads[i]
+	}
+	return tree, reachable, nil
+}
+
+// replayTail folds a WAL tail into tree as one batch instead of one facade
+// write at a time: a long tail pushed through the ordinary insert path
+// trips the flush threshold once per DefaultFlushEvery records and
+// re-segments the same hot pages over and over, which dominates recovery.
+// The buffer applies the write path's op semantics per key — an anonymous
+// delete consumes the newest still-buffered insert for its key, else
+// tombstones one more pre-existing match in scan order; a value delete
+// consumes the newest still-buffered insert carrying its value, else
+// records a value tombstone (every logged delete had a live victim when it
+// was logged, and the WAL tail is a prefix-exact record of the ops that
+// created it, so the tombstones can never exceed the checkpoint tree's
+// matches) — then folds into the checkpoint tree with a single
+// page-granular MergeCOW pass. Which of several distinct-valued duplicates
+// an anonymous delete victimizes may differ from the original run's
+// flush-timing-dependent choice; that choice was never acknowledged state
+// (see Optimistic.Delete). A value delete replays exactly: its record
+// names the victim. Records with LSN < replayFrom are skipped — they are
+// covered by the checkpoint and survive only because the truncation after
+// it didn't land (crash between superblock commit and truncate).
+func replayTail[K Key, V any](tree *Tree[K, V], codec opCodec[K, V],
+	records []wal.Record, replayFrom uint64) (*Tree[K, V], error) {
+	adds := make(map[K][]V)
+	tombs := make(map[K][]core.Tomb[V])
+	replayed := 0
+	for _, r := range records {
+		if r.LSN < replayFrom {
+			continue
+		}
+		op, k, v, err := codec.decodeOp(r.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("fitingtree: wal replay lsn %d: %w", r.LSN, err)
+		}
+		switch op {
+		case walOpInsert:
+			adds[k] = append(adds[k], v)
+		case walOpDelete:
+			if a := adds[k]; len(a) > 0 {
+				adds[k] = a[:len(a)-1]
+			} else {
+				tombs[k] = append(tombs[k], core.Tomb[V]{Any: true})
+			}
+		default: // walOpDeleteValue
+			a := adds[k]
+			consumed := false
+			for j := len(a) - 1; j >= 0; j-- {
+				if any(a[j]) == any(v) {
+					adds[k] = append(a[:j:j], a[j+1:]...)
+					consumed = true
+					break
+				}
+			}
+			if !consumed {
+				tombs[k] = append(tombs[k], core.Tomb[V]{Val: v})
+			}
+		}
+		replayed++
+	}
+	if replayed == 0 {
+		return tree, nil
+	}
+	keys := make([]K, 0, len(adds)+len(tombs))
+	for k, a := range adds {
+		if len(a) > 0 || len(tombs[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	for k := range tombs {
+		if _, ok := adds[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ops := make([]core.MergeOp[K, V], len(keys))
+	for i, k := range keys {
+		ops[i] = core.MergeOp[K, V]{Key: k, Adds: adds[k]}
+		// Pure-anonymous lists collapse to the counted fast path.
+		anyOnly := true
+		for _, t := range tombs[k] {
+			if !t.Any {
+				anyOnly = false
+				break
+			}
+		}
+		if anyOnly {
+			ops[i].Dels = len(tombs[k])
+		} else {
+			ops[i].Tombs = tombs[k]
+		}
+	}
+	return tree.MergeCOW(ops), nil
+}
+
+// foldState returns the tree equivalent to st with every pending layer
+// folded in, sharing untouched chunks with st.tree. The fold reads only
+// immutable published structures and costs O(pending).
+func foldState[K Key, V any](st *ostate[K, V]) *Tree[K, V] {
+	if len(st.frozen) > 0 || st.delta != nil {
+		return st.fold()
+	}
+	return st.tree
+}
+
+// writeDirtyChunks serializes tree's chunks into store, skipping every
+// chunk whose id already has a blob in prev (carried over by reference —
+// the copy-on-write merges preserve untouched chunks' identity, so the id
+// diff is exactly the dirty set). Live chunks are recorded in next, and the
+// chain-ordered blob heads are returned with the written/reused counts. On
+// error the caller owns the Rollback.
+func writeDirtyChunks[K Key, V any](store *pager.Store, snapCodec core.SnapCodec[K, V],
+	tree *Tree[K, V], prev, next map[uint64]pager.PageID) ([]pager.PageID, int, int, error) {
+	ids := tree.ChunkIDs()
+	chunks := make([]pager.PageID, len(ids))
+	written, reused := 0, 0
+	for i, id := range ids {
+		if head, ok := prev[id]; ok {
+			next[id], chunks[i] = head, head
+			reused++
+			continue
+		}
+		blob, err := snapCodec.Encode(tree.ChunkSnap(i))
+		if err != nil {
+			return nil, written, reused, fmt.Errorf("fitingtree: checkpoint chunk %d: %w", i, err)
+		}
+		head, err := store.Put(blob)
+		if err != nil {
+			return nil, written, reused, err
+		}
+		next[id], chunks[i] = head, head
+		written++
+	}
+	return chunks, written, reused, nil
+}
+
+// freeDeadHeads releases the blobs of every chunk in prev that next no
+// longer references — reusable only after the checkpoint commits (shadow
+// paging). On error the caller owns the Rollback.
+func freeDeadHeads(store *pager.Store, prev, next map[uint64]pager.PageID) error {
+	for id, head := range prev {
+		if _, live := next[id]; !live {
+			if err := store.Free(head); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Insert adds (k, v), durably once the covering Sync barrier completes
 // (immediately with the default SetSyncEvery(1)). A nil return with
 // SetSyncEvery(1) means the write is acknowledged: it survives any crash.
@@ -355,7 +446,11 @@ func (d *Durable[K, V]) Insert(k K, v V) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed != nil {
+		return d.failed
+	}
 	if _, err := d.log.Append(payload); err != nil {
+		d.failed = err
 		return err
 	}
 	// Appended: apply unconditionally so memory tracks the log prefix even
@@ -377,12 +472,16 @@ func (d *Durable[K, V]) Delete(k K) (bool, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed != nil {
+		return false, d.failed
+	}
 	// Probe first so no-op deletes are not logged; d.mu serializes all
 	// writers, so the answer cannot change before the apply below.
 	if !d.opt.Contains(k) {
 		return false, nil
 	}
 	if _, err := d.log.Append(payload); err != nil {
+		d.failed = err
 		return false, err
 	}
 	d.opt.Delete(k)
@@ -405,6 +504,9 @@ func (d *Durable[K, V]) DeleteValue(k K, v V) (bool, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed != nil {
+		return false, d.failed
+	}
 	// Probe first so no-op deletes are not logged; d.mu serializes all
 	// writers, so the answer cannot change before the apply below.
 	found := false
@@ -419,6 +521,7 @@ func (d *Durable[K, V]) DeleteValue(k K, v V) (bool, error) {
 		return false, nil
 	}
 	if _, err := d.log.Append(payload); err != nil {
+		d.failed = err
 		return false, err
 	}
 	d.opt.DeleteValue(k, v)
@@ -456,12 +559,17 @@ func (d *Durable[K, V]) maybeSync() error {
 	return d.syncLocked()
 }
 
-// syncLocked flushes the WAL barrier. Callers hold d.mu.
+// syncLocked flushes the WAL barrier, poisoning the write path on failure:
+// a failed fsync means the durability of everything appended since the
+// previous barrier is unknown (the kernel may have dropped the dirty
+// pages), so acknowledging anything after it could break the acked-prefix
+// guarantee. Callers hold d.mu.
 func (d *Durable[K, V]) syncLocked() error {
 	if d.unsynced == 0 {
 		return nil
 	}
 	if err := d.log.Sync(); err != nil {
+		d.failed = err
 		return err
 	}
 	d.unsynced = 0
@@ -496,42 +604,20 @@ func (d *Durable[K, V]) checkpointLocked() (CheckpointStats, error) {
 	// Fold off-lock: the fold reads only immutable published structures
 	// and costs O(pending), and it preserves untouched chunks' identity —
 	// which is what keeps the id diff below O(dirty).
-	tree := st.tree
-	if len(st.frozen) > 0 || st.delta != nil {
-		tree = st.fold()
-	}
+	tree := foldState(st)
 
-	ids := tree.ChunkIDs()
-	newHeads := make(map[uint64]pager.PageID, len(ids))
-	chunks := make([]pager.PageID, len(ids))
-	for i, id := range ids {
-		if head, ok := d.heads[id]; ok {
-			newHeads[id], chunks[i] = head, head
-			stats.ChunksReused++
-			continue
-		}
-		blob, err := d.snap.Encode(tree.ChunkSnap(i))
-		if err != nil {
-			d.store.Rollback()
-			return stats, fmt.Errorf("fitingtree: checkpoint chunk %d: %w", i, err)
-		}
-		head, err := d.store.Put(blob)
-		if err != nil {
-			d.store.Rollback()
-			return stats, err
-		}
-		newHeads[id], chunks[i] = head, head
-		stats.ChunksWritten++
+	newHeads := make(map[uint64]pager.PageID, len(d.heads))
+	chunks, written, reused, err := writeDirtyChunks(d.store, d.snap, tree, d.heads, newHeads)
+	if err != nil {
+		d.store.Rollback()
+		return stats, err
 	}
+	stats.ChunksWritten, stats.ChunksReused = written, reused
 	// Blobs of chunks no longer in the chain are released — reusable only
 	// after this checkpoint commits (shadow paging).
-	for id, head := range d.heads {
-		if _, live := newHeads[id]; !live {
-			if err := d.store.Free(head); err != nil {
-				d.store.Rollback()
-				return stats, err
-			}
-		}
+	if err := freeDeadHeads(d.store, d.heads, newHeads); err != nil {
+		d.store.Rollback()
+		return stats, err
 	}
 	var sink bytes.Buffer
 	if err := gob.NewEncoder(&sink).Encode(manifest{Options: d.opts, Chunks: chunks}); err != nil {
@@ -617,21 +703,37 @@ func (d *Durable[K, V]) checkpointLoop(stop chan struct{}) {
 	}
 }
 
-// Err returns the most recent checkpoint error (nil after a successful
-// checkpoint), surfacing background checkpoint failures.
+// Err returns the facade's sticky health: the write-path poison error when
+// a WAL append or sync has failed (every write since has failed fast), else
+// the most recent checkpoint error (nil after a successful checkpoint),
+// surfacing background checkpoint failures.
 func (d *Durable[K, V]) Err() error {
+	d.mu.Lock()
+	failed := d.failed
+	d.mu.Unlock()
+	if failed != nil {
+		return failed
+	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	return d.ckptErr
 }
 
 // Close drains the flush pipeline, runs a final checkpoint, and releases
-// the WAL handle. The facade must not be used afterwards.
+// the WAL handle. A poisoned facade skips the checkpoint — its last
+// committed cut plus the synced WAL prefix already hold everything
+// acknowledged — and returns the poison error; Close itself never makes
+// things worse. The facade must not be used afterwards.
 func (d *Durable[K, V]) Close() error {
 	d.SetAutoCheckpoint(false)
 	d.opt.SetFlushHook(nil)
 	d.opt.Close()
-	_, cerr := d.Checkpoint()
+	d.mu.Lock()
+	cerr := d.failed
+	d.mu.Unlock()
+	if cerr == nil {
+		_, cerr = d.Checkpoint()
+	}
 	d.mu.Lock()
 	err := d.log.Close()
 	d.mu.Unlock()
@@ -649,6 +751,12 @@ func (d *Durable[K, V]) WALRecords() int {
 	defer d.mu.Unlock()
 	return d.log.Len()
 }
+
+// WALOpenStats returns what recovery found when it opened the log: the
+// replayed record count and, when the file was cut, whether the discarded
+// tail looked like a torn append (TornBytes without CorruptFrames) or like
+// corruption (CorruptFrames > 0). Zero values mean a clean shutdown.
+func (d *Durable[K, V]) WALOpenStats() wal.OpenStats { return d.walStats }
 
 // Lookup returns a value stored under k; see Optimistic.Lookup.
 func (d *Durable[K, V]) Lookup(k K) (V, bool) { return d.opt.Lookup(k) }

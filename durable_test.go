@@ -538,6 +538,70 @@ func TestCreateDurableSkipsWAL(t *testing.T) {
 	}
 }
 
+// TestDurableStickyError pins the poison protocol on the single-tree
+// facade: once a WAL write or sync fails, every subsequent write of every
+// kind returns the same error (an acknowledged write that replay cannot
+// see must never happen), Err is sticky, Close skips the checkpoint but
+// stays safe, and recovery sees exactly the acknowledged prefix.
+func TestDurableStickyError(t *testing.T) {
+	mem := wal.NewMemFS()
+	faulty := wal.NewFaultFS(mem)
+	dev := pager.NewDisk()
+	d, err := OpenDurable[int, int](faulty, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetAutoCheckpoint(false)
+	d.SetAsyncFlush(false)
+	for i := 0; i < 25; i++ {
+		if err := d.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Trip the next mutating FS op: the 26th insert's append fails mid-
+	// write (a torn record lands in the log).
+	faulty.SetTrip(0)
+	werr := d.Insert(100, 100)
+	if !errors.Is(werr, wal.ErrInjected) {
+		t.Fatalf("tripped insert error = %v", werr)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Insert(200+i, i); !errors.Is(err, werr) {
+			t.Fatalf("insert %d after poison = %v, want sticky %v", i, err, werr)
+		}
+		if _, err := d.Delete(i); !errors.Is(err, werr) {
+			t.Fatalf("delete %d after poison = %v", i, err)
+		}
+		if _, err := d.DeleteValue(i, i); !errors.Is(err, werr) {
+			t.Fatalf("delete-value %d after poison = %v", i, err)
+		}
+	}
+	if err := d.Err(); !errors.Is(err, werr) {
+		t.Fatalf("Err() = %v, want sticky %v", err, werr)
+	}
+	// Reads keep serving the in-memory state.
+	if v, ok := d.Lookup(10); !ok || v != 10 {
+		t.Fatalf("read on poisoned facade: %v %v", v, ok)
+	}
+	if err := d.Close(); !errors.Is(err, werr) {
+		t.Fatalf("Close() = %v, want the poison", err)
+	}
+	mem.Crash()
+	rec, err := OpenDurable[int, int](mem, dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetAutoCheckpoint(false)
+	if rec.Len() != 25 {
+		t.Fatalf("recovered %d elements, want exactly the 25 acked", rec.Len())
+	}
+	for i := 0; i < 25; i++ {
+		if v, ok := rec.Lookup(i); !ok || v != i {
+			t.Fatalf("acked key %d lost: %v %v", i, v, ok)
+		}
+	}
+}
+
 // TestDurableFaultInjectionReturnsErrors sanity-checks that injected
 // faults surface as errors, not panics or silent loss.
 func TestDurableFaultInjectionReturnsErrors(t *testing.T) {

@@ -74,6 +74,32 @@ func WriteSuper(dev Device, s Super) error {
 	return dev.Sync()
 }
 
+// ReadSuperAt reads and validates one superblock slot (0 or 1). ok is
+// false when the slot holds no valid superblock — never written, torn, or
+// corrupted; the error reports only device read failures. Integrity tools
+// use it to check both slots individually where ReadSuper would silently
+// fall back to the surviving one.
+func ReadSuperAt(dev Device, slot PageID) (Super, bool, error) {
+	if int(slot) >= dev.NumPages() {
+		return Super{}, false, nil
+	}
+	buf := make([]byte, PageSize)
+	if err := dev.Read(slot, buf); err != nil {
+		return Super{}, false, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != superMagic {
+		return Super{}, false, nil
+	}
+	if binary.LittleEndian.Uint32(buf[4:]) != crc32.Checksum(buf[8:32], storeCRC) {
+		return Super{}, false, nil
+	}
+	return Super{
+		Epoch:      binary.LittleEndian.Uint64(buf[8:]),
+		Manifest:   PageID(binary.LittleEndian.Uint32(buf[16:])),
+		ReplayFrom: binary.LittleEndian.Uint64(buf[24:]),
+	}, true, nil
+}
+
 // ReadSuper returns the newest valid superblock. ok is false when neither
 // slot holds one (an empty or never-committed device, or both slots
 // corrupt — in every case there is no checkpoint to load).
@@ -81,23 +107,12 @@ func ReadSuper(dev Device) (s Super, ok bool, err error) {
 	if dev.NumPages() < 2 {
 		return Super{}, false, nil
 	}
-	buf := make([]byte, PageSize)
 	for slot := PageID(0); slot < 2; slot++ {
-		if rerr := dev.Read(slot, buf); rerr != nil {
+		cand, valid, rerr := ReadSuperAt(dev, slot)
+		if rerr != nil {
 			return Super{}, false, rerr
 		}
-		if binary.LittleEndian.Uint32(buf[0:]) != superMagic {
-			continue
-		}
-		if binary.LittleEndian.Uint32(buf[4:]) != crc32.Checksum(buf[8:32], storeCRC) {
-			continue
-		}
-		cand := Super{
-			Epoch:      binary.LittleEndian.Uint64(buf[8:]),
-			Manifest:   PageID(binary.LittleEndian.Uint32(buf[16:])),
-			ReplayFrom: binary.LittleEndian.Uint64(buf[24:]),
-		}
-		if !ok || cand.Epoch > s.Epoch {
+		if valid && (!ok || cand.Epoch > s.Epoch) {
 			s, ok = cand, true
 		}
 	}

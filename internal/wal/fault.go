@@ -30,6 +30,7 @@ type FaultFS struct {
 	ops     int
 	tripAt  int // fail the op that would make ops exceed this; <0 = never
 	tripped bool
+	filter  func(name string) bool // nil = every name is in scope
 }
 
 // NewFaultFS wraps inner with no trip configured.
@@ -46,6 +47,26 @@ func (f *FaultFS) SetTrip(n int) {
 	f.ops = 0
 	f.tripAt = n
 	f.tripped = false
+}
+
+// SetNameFilter scopes the injector to operations touching names filter
+// accepts; everything else passes through uncounted and unfailed. It
+// models a fault confined to one file — a single shard's log going bad
+// while its siblings keep committing — where SetTrip alone models the
+// whole process losing its storage. A rename is in scope when either of
+// its names is. nil (the default) puts every name in scope. The operation
+// counter is not reset; call SetTrip afterwards to rearm deterministically.
+func (f *FaultFS) SetNameFilter(filter func(name string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.filter = filter
+}
+
+// inScope reports whether name is subject to injection.
+func (f *FaultFS) inScope(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.filter == nil || f.filter(name)
 }
 
 // Ops returns the number of mutating operations observed since the last
@@ -90,26 +111,26 @@ func (f *FaultFS) step() stepResult {
 
 // Create opens name for writing through the injector.
 func (f *FaultFS) Create(name string) (File, error) {
-	if f.step() != stepOK {
+	if f.inScope(name) && f.step() != stepOK {
 		return nil, ErrInjected
 	}
 	h, err := f.inner.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, inner: h}, nil
+	return &faultFile{fs: f, name: name, inner: h}, nil
 }
 
 // Append opens name for appending through the injector.
 func (f *FaultFS) Append(name string) (File, error) {
-	if f.step() != stepOK {
+	if f.inScope(name) && f.step() != stepOK {
 		return nil, ErrInjected
 	}
 	h, err := f.inner.Append(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, inner: h}, nil
+	return &faultFile{fs: f, name: name, inner: h}, nil
 }
 
 // Open opens name for reading; reads are never failed.
@@ -119,7 +140,7 @@ func (f *FaultFS) Open(name string) (io.ReadCloser, error) {
 
 // Remove deletes name through the injector.
 func (f *FaultFS) Remove(name string) error {
-	if f.step() != stepOK {
+	if f.inScope(name) && f.step() != stepOK {
 		return ErrInjected
 	}
 	return f.inner.Remove(name)
@@ -128,7 +149,7 @@ func (f *FaultFS) Remove(name string) error {
 // Rename renames through the injector; a tripped rename has no effect
 // (renames are atomic, so they either happen or do not).
 func (f *FaultFS) Rename(oldname, newname string) error {
-	if f.step() != stepOK {
+	if (f.inScope(oldname) || f.inScope(newname)) && f.step() != stepOK {
 		return ErrInjected
 	}
 	return f.inner.Rename(oldname, newname)
@@ -137,6 +158,7 @@ func (f *FaultFS) Rename(oldname, newname string) error {
 // faultFile is a File handle routed through the injector.
 type faultFile struct {
 	fs    *FaultFS
+	name  string
 	inner File
 }
 
@@ -144,6 +166,9 @@ type faultFile struct {
 // prefix (half the buffer) before failing, and writes after the trip land
 // nothing at all.
 func (w *faultFile) Write(p []byte) (int, error) {
+	if !w.fs.inScope(w.name) {
+		return w.inner.Write(p)
+	}
 	switch w.fs.step() {
 	case stepTrip:
 		n := 0
@@ -160,7 +185,7 @@ func (w *faultFile) Write(p []byte) (int, error) {
 // Sync syncs through the injector; a tripped sync leaves the written bytes
 // without a durability promise.
 func (w *faultFile) Sync() error {
-	if w.fs.step() != stepOK {
+	if w.fs.inScope(w.name) && w.fs.step() != stepOK {
 		return ErrInjected
 	}
 	return w.inner.Sync()

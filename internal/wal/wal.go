@@ -34,7 +34,10 @@ type Record struct {
 	Payload []byte
 }
 
-// OpenStats describes what Open found in an existing log.
+// OpenStats describes what Open found in an existing log, letting callers
+// distinguish a clean shutdown (nothing discarded) from a crash's torn
+// tail (an incomplete final frame) from actual corruption (complete
+// frames that fail their checksum or break LSN monotonicity).
 type OpenStats struct {
 	// Records is the number of intact records replayed.
 	Records int
@@ -42,6 +45,14 @@ type OpenStats struct {
 	// not form an intact record (torn tail after a crash). Zero for a
 	// clean log.
 	TornBytes int
+	// TruncatedAt is the byte offset the log was cut at: the length of the
+	// intact record prefix. Equal to the file size for a clean log.
+	TruncatedAt int
+	// CorruptFrames counts structurally complete frames inside the
+	// discarded tail that fail their checksum or LSN monotonicity — a torn
+	// final append leaves zero of these (its frame is incomplete), so a
+	// non-zero count is evidence of corruption rather than a crash.
+	CorruptFrames int
 }
 
 // Log is an append-only record log. It is not safe for concurrent use;
@@ -71,6 +82,8 @@ func Open(fsys FS, name string) (*Log, []Record, OpenStats, error) {
 	records, consumed := parseRecords(data)
 	stats.Records = len(records)
 	stats.TornBytes = len(data) - consumed
+	stats.TruncatedAt = consumed
+	stats.CorruptFrames = countCorruptFrames(data[consumed:])
 	if stats.TornBytes > 0 {
 		// Repair: rewrite the intact prefix and atomically swap it in, so
 		// the torn bytes cannot resurface.
@@ -130,6 +143,25 @@ func parseRecords(data []byte) ([]Record, int) {
 		at += recordHeader + n
 	}
 	return records, at
+}
+
+// countCorruptFrames walks the discarded tail counting structurally
+// complete frames — a sane length field with the whole body present —
+// that parseRecords nevertheless rejected (bad checksum or broken LSN
+// monotonicity). The walk stops at the first incomplete or unparseable
+// frame: whatever follows is indistinguishable from a torn append.
+func countCorruptFrames(tail []byte) int {
+	corrupt := 0
+	at := 0
+	for len(tail)-at >= recordHeader {
+		n := int(binary.LittleEndian.Uint32(tail[at:]))
+		if n > maxRecordSize || at+recordHeader+n > len(tail) {
+			break
+		}
+		corrupt++
+		at += recordHeader + n
+	}
+	return corrupt
 }
 
 // appendFrame appends one framed record to buf.

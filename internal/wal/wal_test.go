@@ -136,6 +136,50 @@ func TestCorruptChecksumDetected(t *testing.T) {
 	}
 }
 
+func TestOpenStatsClassifiesTornVersusCorrupt(t *testing.T) {
+	fs, l := openEmpty(t)
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append([]byte{byte(i), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Sync()
+	clean := append([]byte(nil), fs.Bytes("wal.log")...)
+	frame := recordHeader + 2
+
+	// Clean shutdown: the whole file is the intact prefix.
+	_, _, stats, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TruncatedAt != len(clean) || stats.CorruptFrames != 0 {
+		t.Fatalf("clean log: stats %+v, want TruncatedAt=%d CorruptFrames=0", stats, len(clean))
+	}
+
+	// Torn final append: bytes discarded, but no complete frame among them.
+	fs.SetBytes("wal.log", clean[:len(clean)-1])
+	_, _, stats, err = Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TruncatedAt != 3*frame || stats.CorruptFrames != 0 {
+		t.Fatalf("torn tail: stats %+v, want TruncatedAt=%d CorruptFrames=0", stats, 3*frame)
+	}
+
+	// Bit rot mid-log: the complete frames past the cut count as corrupt.
+	rotted := append([]byte(nil), clean...)
+	rotted[frame+recordHeader] ^= 0xFF // second record's payload
+	fs.SetBytes("wal.log", rotted)
+	_, recs, stats, err := Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || stats.TruncatedAt != frame || stats.CorruptFrames != 3 {
+		t.Fatalf("rotted log: %d records, stats %+v, want TruncatedAt=%d CorruptFrames=3",
+			len(recs), stats, frame)
+	}
+}
+
 func TestOversizedLengthFieldRejected(t *testing.T) {
 	fs := NewMemFS()
 	// A frame claiming a huge payload must not drive a huge allocation.
@@ -233,6 +277,69 @@ func TestFaultFSOpCountProbe(t *testing.T) {
 	}
 	if faulty.Tripped() {
 		t.Fatal("probe run tripped")
+	}
+}
+
+// TestFaultFSNameFilter scopes the injector to one file and checks that
+// operations on other names pass through uncounted and unfailed — the
+// single-bad-shard model — while the filtered name both counts toward the
+// trip and fails after it.
+func TestFaultFSNameFilter(t *testing.T) {
+	mem := NewMemFS()
+	faulty := NewFaultFS(mem)
+	faulty.SetNameFilter(func(name string) bool { return name == "bad.log" })
+
+	good, _, _, err := Open(faulty, "good.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _, _, err := Open(faulty, "bad.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Append([]byte("b0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := faulty.Ops(); got != 3 { // only bad.log's open+write+sync counted
+		t.Fatalf("filtered op count = %d, want 3", got)
+	}
+
+	faulty.SetTrip(0) // the very next bad.log op fails
+	for i := 0; i < 3; i++ {
+		if _, err := good.Append([]byte("gg")); err != nil {
+			t.Fatalf("out-of-scope append %d failed: %v", i, err)
+		}
+		if err := good.Sync(); err != nil {
+			t.Fatalf("out-of-scope sync %d failed: %v", i, err)
+		}
+	}
+	if faulty.Tripped() {
+		t.Fatal("out-of-scope traffic tripped the injector")
+	}
+	if _, err := bad.Append([]byte("b1")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("in-scope append error = %v, want injected", err)
+	}
+	if _, err := good.Append([]byte("gg")); err != nil {
+		t.Fatalf("append on healthy file after trip failed: %v", err)
+	}
+	if err := good.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// A rename is in scope when either of its names is.
+	if err := faulty.Rename("other.tmp", "bad.log"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename into scope error = %v, want injected", err)
+	}
+
+	mem.Crash()
+	_, recs, _, err := Open(mem, "good.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("healthy log recovered %d records, want 4", len(recs))
 	}
 }
 

@@ -385,12 +385,19 @@ func (s *Sharded[K, V]) Len() int {
 // and the frozen-ladder depth take the maximum (per-layer pending counts
 // are per-shard and left unset — see Optimistic.Stats for them).
 func (s *Sharded[K, V]) Stats() Stats {
-	ss := s.set.Load()
+	return aggregateShardStats(s.set.Load().shards)
+}
+
+// aggregateShardStats folds per-shard statistics into one facade-level
+// view: counts and sizes sum, heights and ladder depth take the maximum.
+// Shared by Sharded and DurableSharded.
+func aggregateShardStats[K Key, V any](shards []*Optimistic[K, V]) Stats {
 	var agg Stats
-	for _, sh := range ss.shards {
+	for _, sh := range shards {
 		st := sh.Stats()
 		agg.Elements += st.Elements
 		agg.Pages += st.Pages
+		agg.Chunks += st.Chunks
 		agg.Buffered += st.Buffered
 		agg.Deletes += st.Deletes
 		if st.FrozenLayers > agg.FrozenLayers {
@@ -442,14 +449,23 @@ func (s *Sharded[K, V]) Each(k K, fn func(v V) bool) {
 // shard's portion is one consistent cut (writes published to a shard after
 // its capture are not observed).
 func (s *Sharded[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
+	ss := s.set.Load()
+	ascendSharded(ss.bounds, ss.shards, lo, hi, fn)
+}
+
+// ascendSharded is the ordered cross-shard range scan shared by Sharded
+// and DurableSharded: every intersecting shard's state is captured before
+// the first element is emitted, then each shard's portion is scanned in
+// fence order.
+func ascendSharded[K Key, V any](bounds []K, shards []*Optimistic[K, V],
+	lo, hi K, fn func(k K, v V) bool) {
 	if hi < lo {
 		return
 	}
-	ss := s.set.Load()
-	from, to := ss.shardFor(lo), ss.shardFor(hi)
+	from, to := upperBoundKeys(bounds, lo), upperBoundKeys(bounds, hi)
 	states := make([]*ostate[K, V], to-from+1)
 	for i := range states {
-		states[i] = ss.shards[from+i].state.Load()
+		states[i] = shards[from+i].state.Load()
 	}
 	for _, st := range states {
 		stopped := false
@@ -484,8 +500,14 @@ const shardBatchParallelMin = 2048
 // disjoint result indices, so the fan-out needs no locking.
 func (s *Sharded[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	ss := s.set.Load()
-	if len(ss.shards) == 1 {
-		return ss.shards[0].LookupBatch(keys)
+	return lookupBatchSharded(ss.bounds, ss.shards, keys)
+}
+
+// lookupBatchSharded is the scatter-gather batch engine shared by Sharded
+// and DurableSharded; see Sharded.LookupBatch for the protocol.
+func lookupBatchSharded[K Key, V any](bounds []K, shards []*Optimistic[K, V], keys []K) ([]V, []bool) {
+	if len(shards) == 1 {
+		return shards[0].LookupBatch(keys)
 	}
 	vals := make([]V, len(keys))
 	found := make([]bool, len(keys))
@@ -502,11 +524,11 @@ func (s *Sharded[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 	}
 	// spans maps each shard with work to its contiguous sub-batch [b, e).
 	type span struct{ shard, b, e int }
-	spans := make([]span, 0, len(ss.shards))
-	for si, b := 0, 0; si < len(ss.shards) && b < len(sub); si++ {
+	spans := make([]span, 0, len(shards))
+	for si, b := 0, 0; si < len(shards) && b < len(sub); si++ {
 		e := len(sub)
-		if si < len(ss.bounds) {
-			e = lowerBound(sub, ss.bounds[si]) // keys >= fence belong to later shards
+		if si < len(bounds) {
+			e = lowerBound(sub, bounds[si]) // keys >= fence belong to later shards
 		}
 		if e > b {
 			spans = append(spans, span{shard: si, b: b, e: e})
@@ -514,7 +536,7 @@ func (s *Sharded[K, V]) LookupBatch(keys []K) ([]V, []bool) {
 		b = e
 	}
 	probe := func(sp span) {
-		sv, sf := ss.shards[sp.shard].LookupBatch(sub[sp.b:sp.e])
+		sv, sf := shards[sp.shard].LookupBatch(sub[sp.b:sp.e])
 		if order == nil {
 			copy(vals[sp.b:sp.e], sv)
 			copy(found[sp.b:sp.e], sf)
@@ -609,29 +631,36 @@ func (s *Sharded[K, V]) maybeRebalance() {
 // quarter since fences were last computed, so repeated checks against an
 // unsplittable distribution (e.g. one giant duplicate run) stay cheap.
 func (s *Sharded[K, V]) needsRebalance(ss *shardSet[K, V]) bool {
-	f := math.Float64frombits(s.factor.Load())
-	if math.IsInf(f, 1) {
+	return shardsNeedRebalance(ss.shards, s.want, math.Float64frombits(s.factor.Load()),
+		int(s.rebalancedAt.Load()))
+}
+
+// shardsNeedRebalance is the skew policy shared by Sharded and
+// DurableSharded; see Sharded.needsRebalance for the rules.
+func shardsNeedRebalance[K Key, V any](shards []*Optimistic[K, V], want int,
+	factor float64, rebalancedAt int) bool {
+	if math.IsInf(factor, 1) {
 		return false
 	}
 	total, maxSize := 0, 0
-	for _, sh := range ss.shards {
+	for _, sh := range shards {
 		n := sh.Len()
 		total += n
 		if n > maxSize {
 			maxSize = n
 		}
 	}
-	if total < s.want*minShardElements {
+	if total < want*minShardElements {
 		return false
 	}
-	if at := int(s.rebalancedAt.Load()); at > 0 && total < at+at/4 && total > at/2 {
+	if at := rebalancedAt; at > 0 && total < at+at/4 && total > at/2 {
 		return false
 	}
-	if len(ss.shards) < s.want {
+	if len(shards) < want {
 		return true
 	}
-	mean := float64(total) / float64(len(ss.shards))
-	return float64(maxSize) > f*mean
+	mean := float64(total) / float64(len(shards))
+	return float64(maxSize) > factor*mean
 }
 
 // rebalance recomputes fences from the merged data's segment boundaries
