@@ -53,11 +53,12 @@ func ShardWALName(gen uint64, i int) string {
 //     intent record (old fences, new fences, source epoch) before any
 //     migration work, building the new generation's shards and logs on
 //     the side, and committing everything with the next manifest flip.
-//     A crash at any point resolves wholesale at the next open: intent
-//     with SourceEpoch == committed epoch means the flip never landed —
-//     the migration is discarded and the old generation recovered;
-//     an older SourceEpoch means it committed — only leftover files
-//     remain to sweep. See RebalanceIntent in internal/core.
+//     A crash at any point resolves wholesale at the next open: a
+//     committed manifest still carrying a generation below the intent's
+//     means the flip never landed — the migration is discarded and the
+//     old generation recovered; at or past it means it committed — only
+//     leftover files remain to sweep. See RebalanceIntent in
+//     internal/core.
 //
 // Any WAL or device error on the write path poisons the facade: Err
 // turns sticky, every later write fails fast (an acknowledged write that
@@ -162,7 +163,17 @@ func OpenDurableSharded[K Key, V any](fsys wal.FS, dev pager.Device, opts Option
 	if err != nil {
 		return nil, fmt.Errorf("fitingtree: read superblock: %w", err)
 	}
-	if err := resolveIntent(fsys, super.Epoch, haveCkpt); err != nil {
+	var m core.ShardManifest
+	var mchain []pager.PageID
+	if haveCkpt {
+		// The manifest is loaded before the intent is settled: its
+		// generation — not the superblock's epoch — is what classifies an
+		// in-flight migration (see resolveIntent).
+		if m, mchain, err = loadShardManifest(store, super.Manifest); err != nil {
+			return nil, err
+		}
+	}
+	if err := resolveIntent(fsys, m.Generation, haveCkpt); err != nil {
 		return nil, err
 	}
 
@@ -172,10 +183,6 @@ func OpenDurableSharded[K Key, V any](fsys wal.FS, dev pager.Device, opts Option
 	var replayFroms []uint64
 	var reachable []pager.PageID
 	if haveCkpt {
-		m, mchain, err := loadShardManifest(store, super.Manifest)
-		if err != nil {
-			return nil, err
-		}
 		d.opts = m.Options
 		if bounds, err = decodeFences(&d.codec, m.Fences); err != nil {
 			return nil, err
@@ -242,8 +249,12 @@ func OpenDurableSharded[K Key, V any](fsys wal.FS, dev pager.Device, opts Option
 // already-built tree: t is split into at most shards balanced range
 // partitions (Sharded's fence policy) and a full cross-shard checkpoint
 // is committed before returning, so the bulk-loaded data never passes
-// through the logs. Any previous content of fsys and dev is superseded.
-// The tree must not be used directly afterwards; the facade owns it.
+// through the logs. Any previous content of fsys and dev is superseded —
+// atomically when it is a readable sharded store: the new store's first
+// cut is built under the next generation (fresh log names, old pages
+// shielded), so until that cut commits a crash still recovers the old
+// store in full, and only afterwards are its files swept. The tree must
+// not be used directly afterwards; the facade owns it.
 func CreateDurableSharded[K Key, V any](fsys wal.FS, dev pager.Device, t *Tree[K, V], shards int) (*DurableSharded[K, V], error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("fitingtree: shard count %d, must be >= 1", shards)
@@ -257,21 +268,53 @@ func CreateDurableSharded[K Key, V any](fsys wal.FS, dev pager.Device, t *Tree[K
 	})
 	starts, weights := t.PageBounds()
 	store := pager.NewStore(dev)
-	// Continue the epoch sequence past any previous store generation so
-	// the new superblock outranks a stale one in the other slot.
-	super, _, err := pager.ReadSuper(dev)
+	// Continue the epoch and generation sequences past any previous store
+	// on the device: the epoch so the new superblock outranks the stale
+	// one in the other slot, the generation so the fresh logs below never
+	// truncate the previous store's. That store — superblock, pages, WAL
+	// tails, intent — stays the untouched recovery target until the first
+	// cut commits; destroying any of it earlier would lose its
+	// acknowledged writes on a crash inside this function even though the
+	// supersede never committed.
+	super, haveCkpt, err := pager.ReadSuper(dev)
 	if err != nil {
 		return nil, err
 	}
-	store.RebuildFree(nil)
-	if err := fsys.Remove(IntentName); err != nil {
-		return nil, err
+	gen := uint64(0)
+	oldShards := 0
+	var reachable []pager.PageID
+	if haveCkpt {
+		// A previous store whose manifest no longer decodes (corrupt, or
+		// a single-tree Durable's) was unrecoverable by this facade
+		// anyway; it gets plain destructive supersede semantics.
+		if m, mchain, merr := loadShardManifest(store, super.Manifest); merr == nil {
+			gen = m.Generation + 1
+			oldShards = len(m.Shards)
+			reachable = mchain
+		shield:
+			for _, cut := range m.Shards {
+				for _, c := range cut.Chunks {
+					chain, cerr := store.Chain(pager.PageID(c))
+					if cerr != nil {
+						// A partially unreadable old store cannot be
+						// recovered after a crash either way; stop
+						// shielding its pages (the fresh generation's
+						// log names still cost nothing).
+						reachable = nil
+						break shield
+					}
+					reachable = append(reachable, chain...)
+				}
+			}
+		}
 	}
+	store.RebuildFree(reachable)
 
 	d := newDurableSharded[K, V](fsys, store, t.Options(), shards)
 	d.epoch = super.Epoch
+	d.generation = gen
 	bounds := balancedFences(keys, starts, weights, shards)
-	logs, err := createShardLogs(fsys, 0, len(bounds)+1)
+	logs, err := createShardLogs(fsys, gen, len(bounds)+1)
 	if err != nil {
 		return nil, err
 	}
@@ -284,12 +327,22 @@ func CreateDurableSharded[K Key, V any](fsys wal.FS, dev pager.Device, t *Tree[K
 	d.walStats = make([]wal.OpenStats, len(logs))
 	d.rebalancedAt.Store(int64(len(keys)))
 	d.ckptMu.Lock()
-	_, err = d.checkpointLocked(set, 0)
+	_, err = d.checkpointLocked(set, gen)
 	d.ckptMu.Unlock()
 	if err != nil {
 		closeShardLogs(set.shards)
 		return nil, err
 	}
+	// Committed: the previous store and any stale rebalance intent are
+	// dead. The sweep is best-effort — a leftover intent resolves
+	// harmlessly at the next open (its generation is at most gen, so it
+	// can never condemn this store's logs), and old-generation log files
+	// are never opened again (log names embed the generation).
+	for i := 0; i < oldShards; i++ {
+		d.fsys.Remove(ShardWALName(gen-1, i))
+	}
+	d.fsys.Remove(IntentName)
+	d.fsys.Remove(IntentName + ".tmp")
 	d.SetAutoCheckpoint(true)
 	return d, nil
 }
@@ -483,16 +536,22 @@ func writeFileAtomic(fsys wal.FS, name string, data []byte) error {
 }
 
 // resolveIntent settles a rebalance intent left behind by a crash. The
-// migration's commit point is the manifest flip to SourceEpoch+1, so the
-// committed epoch decides wholesale: still at SourceEpoch (or no
-// checkpoint at all) means the flip never landed — the new generation's
-// logs are garbage and the old generation recovers; a newer epoch means
-// it landed — only the old generation's logs remain to sweep. A torn or
-// corrupt intent record is impossible for an in-flight migration (the
-// record is written atomically and synced before any migration work), so
-// it is discarded as a stale leftover. Always removed afterwards, along
-// with the atomic-write sibling.
-func resolveIntent(fsys wal.FS, epoch uint64, haveCkpt bool) error {
+// migration's commit point is the manifest flip carrying the intent's
+// new Generation, so the committed manifest's generation decides
+// wholesale: still below the intent's (or no checkpoint at all) means
+// the flip never landed — the migration's logs are garbage and the old
+// generation recovers; at or past it means it landed — only the source
+// generation's logs remain to sweep. Epochs deliberately play no part
+// in the comparison: they advance with every checkpoint, skip past
+// failed superblock writes, and restart relative to a superseded store
+// after CreateDurableSharded — any of which could make a stale intent
+// look committed and condemn a live generation's logs, while the
+// generation sequence moves only with committed migrations (and Create
+// continues it). A torn or corrupt intent record is impossible for an
+// in-flight migration (the record is written atomically and synced
+// before any migration work), so it is discarded as a stale leftover.
+// Always removed afterwards, along with the atomic-write sibling.
+func resolveIntent(fsys wal.FS, gen uint64, haveCkpt bool) error {
 	data, err := readFSFile(fsys, IntentName)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -501,7 +560,7 @@ func resolveIntent(fsys wal.FS, epoch uint64, haveCkpt bool) error {
 		return err
 	}
 	if it, derr := core.DecodeRebalanceIntent(data); derr == nil {
-		if !haveCkpt || it.SourceEpoch >= epoch {
+		if !haveCkpt || gen < it.Generation {
 			// Never committed: discard the migration's logs.
 			for i := 0; i <= len(it.NewFences); i++ {
 				if err := fsys.Remove(ShardWALName(it.Generation, i)); err != nil {
@@ -509,7 +568,9 @@ func resolveIntent(fsys wal.FS, epoch uint64, haveCkpt bool) error {
 				}
 			}
 		} else {
-			// Committed: sweep the source generation's logs.
+			// Committed: sweep the source generation's logs (dead even
+			// when later generations have committed since — log names
+			// embed the generation, so the live one is never touched).
 			for i := 0; i <= len(it.OldFences); i++ {
 				if err := fsys.Remove(ShardWALName(it.Generation-1, i)); err != nil {
 					return err
@@ -727,10 +788,16 @@ func (d *DurableSharded[K, V]) Sync() error {
 // incremental (only chunks dirtied since the previous cut are
 // serialized); the whole cut commits with one superblock write. Safe to
 // call concurrently with reads and writes; checkpoints and rebalances
-// serialize.
+// serialize. A poisoned facade fails fast without cutting, like Close:
+// after a failed rebalance in particular, committing a new epoch under
+// the old generation would strand the durable state between the intent
+// record and the migration it describes.
 func (d *DurableSharded[K, V]) Checkpoint() (ShardedCheckpointStats, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	if err := d.failedErr(); err != nil {
+		return ShardedCheckpointStats{}, err
+	}
 	stats, err := d.checkpointLocked(d.set.Load(), d.generation)
 	d.ckptErr = err
 	return stats, err
@@ -803,15 +870,20 @@ func (d *DurableSharded[K, V]) checkpointLocked(set *dshardSet[K, V], generation
 		Manifest: mHead,
 	}); err != nil {
 		d.store.Rollback()
-		// The write may have landed before the failure (a torn sync), so
-		// on disk the epoch may already read d.epoch+1. Claim it: the
-		// in-memory epoch must never lag the committed one, or a later
-		// rebalance would stamp its intent with a stale SourceEpoch and
-		// recovery would misread "committed epoch > SourceEpoch" as the
-		// migration having landed — and sweep the live generation's logs.
-		// Claiming an epoch that did not land is harmless: epochs may
-		// skip, and the comparison stays conservative.
-		d.epoch++
+		// The write may have landed before the failure surfaced (a torn
+		// sync), so epoch+1's parity slot may now hold a valid superblock
+		// naming this rolled-back cut. Advance by two, not one: the
+		// in-memory epoch then never lags anything on disk (the next
+		// commit always outranks a landed epoch+1), and — same parity —
+		// the next attempt rewrites the slot this failed write targeted,
+		// never the slot holding the last COMMITTED epoch, which must
+		// stay intact until a newer commit is durable (a torn retry over
+		// it would leave no superblock covering the already-truncated WAL
+		// prefixes). A landed epoch+1 stays a valid fallback meanwhile:
+		// Rollback keeps this attempt's pages off the freelist, so
+		// nothing rewrites them until a later recovery's RebuildFree.
+		// Epochs may skip; every reader only ranks them.
+		d.epoch += 2
 		return stats, err
 	}
 	d.store.Commit()
@@ -883,8 +955,8 @@ func (d *DurableSharded[K, V]) rebalanceLocked() error {
 
 	// 1. Intent first: once it is durable, a crash anywhere in the
 	// migration resolves deterministically at the next open — discarded
-	// while the committed epoch still equals SourceEpoch, replayed (and
-	// swept) once the flip below has landed.
+	// while the committed manifest still carries the old generation,
+	// replayed (and swept) once the flip below has landed.
 	intent := core.EncodeRebalanceIntent(core.RebalanceIntent{
 		SourceEpoch: d.epoch,
 		Generation:  newGen,
@@ -1089,8 +1161,10 @@ func (d *DurableSharded[K, V]) Generation() uint64 {
 	return d.generation
 }
 
-// Epoch returns the last committed checkpoint epoch (0 before the first
-// cut).
+// Epoch returns the checkpoint epoch sequence's current position (0
+// before the first cut). It normally reads as the last committed cut's
+// epoch, but failed commit attempts advance it too (see
+// checkpointLocked), so the sequence may skip values.
 func (d *DurableSharded[K, V]) Epoch() uint64 {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()

@@ -781,3 +781,267 @@ func TestDurableShardedConcurrentStress(t *testing.T) {
 		}
 	}
 }
+
+// --- commit-protocol regressions ------------------------------------------
+
+// errSuperFault marks a superFaultDev injection.
+var errSuperFault = errors.New("injected superblock fault")
+
+// superFaultMode selects what a superFaultDev does to the next superblock
+// write: nothing, or one of the three outcomes of a write whose
+// acknowledgment never arrives — it landed anyway, it was lost entirely,
+// or the crash mid-write left garbage in the slot.
+type superFaultMode int
+
+const (
+	superPass superFaultMode = iota
+	superFailLanded
+	superFailLost
+	superTear
+)
+
+// superFaultDev fails exactly one superblock write (pages 0 and 1) per
+// arming, passing every blob-page write through untouched.
+type superFaultDev struct {
+	pager.Device
+	mode superFaultMode
+}
+
+func (f *superFaultDev) Write(id pager.PageID, p []byte) error {
+	if id >= 2 || f.mode == superPass {
+		return f.Device.Write(id, p)
+	}
+	mode := f.mode
+	f.mode = superPass
+	switch mode {
+	case superFailLanded:
+		f.Device.Write(id, p)
+	case superTear:
+		f.Device.Write(id, make([]byte, len(p)))
+	}
+	return errSuperFault
+}
+
+// TestShardedCheckpointRetryParity pins the dual-superblock discipline
+// around a failed commit: a checkpoint retried after a failed superblock
+// write must target the slot the failure targeted, never the slot holding
+// the last committed cut — that cut's WAL prefixes are already truncated,
+// so a crash tearing a retry aimed at its slot would lose acknowledged
+// data with no fallback.
+func TestShardedCheckpointRetryParity(t *testing.T) {
+	run := func(t *testing.T, firstFail superFaultMode, tearRetry bool) {
+		mem := wal.NewMemFS()
+		disk := pager.NewDisk()
+		fdev := &superFaultDev{Device: disk}
+		d := newShardedUnderTest(t, mem, fdev, 3)
+		for i := 0; i < 200; i++ {
+			if err := d.Insert(i*31, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Epoch 1 commits and truncates the covered WAL prefixes: from
+		// here on, losing the superblock loses the first 200 pairs.
+		if _, err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 200; i < 300; i++ {
+			if err := d.Insert(i*31, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fdev.mode = firstFail
+		if _, err := d.Checkpoint(); !errors.Is(err, errSuperFault) {
+			t.Fatalf("checkpoint with failing superblock write = %v, want injected fault", err)
+		}
+		for i := 300; i < 350; i++ {
+			if err := d.Insert(i*31, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tearRetry {
+			fdev.mode = superTear
+			if _, err := d.Checkpoint(); !errors.Is(err, errSuperFault) {
+				t.Fatalf("torn retry checkpoint = %v, want injected fault", err)
+			}
+		} else {
+			if _, err := d.Checkpoint(); err != nil {
+				t.Fatalf("retry checkpoint: %v", err)
+			}
+			super, ok, err := pager.ReadSuper(disk)
+			if err != nil || !ok {
+				t.Fatalf("ReadSuper after retry = (%v, %v)", ok, err)
+			}
+			if super.Epoch != 4 {
+				t.Fatalf("retry committed epoch %d, want 4 (the failed attempt claims two)", super.Epoch)
+			}
+		}
+		mem.Crash()
+		rec := newShardedUnderTest(t, mem, disk, 3)
+		defer rec.Close()
+		if got := rec.Len(); got != 350 {
+			t.Fatalf("recovered %d pairs, want 350", got)
+		}
+		for i := 0; i < 350; i++ {
+			if v, ok := rec.Lookup(i * 31); !ok || v != i {
+				t.Fatalf("key %d: got (%d, %v), want (%d, true)", i*31, v, ok, i)
+			}
+		}
+	}
+	t.Run("lost-then-torn-retry", func(t *testing.T) { run(t, superFailLost, true) })
+	t.Run("landed-then-torn-retry", func(t *testing.T) { run(t, superFailLanded, true) })
+	t.Run("lost-then-retry-commits", func(t *testing.T) { run(t, superFailLost, false) })
+}
+
+// TestShardedPoisonedCheckpointFailsFast pins the poison contract for
+// checkpoints: after a rebalance fails with its intent record already
+// durable, Checkpoint must refuse to commit — a fresh epoch under the old
+// generation would leave the durable state stranded between the intent
+// and the migration it describes — and recovery must still see every
+// acknowledged write under the old generation.
+func TestShardedPoisonedCheckpointFailsFast(t *testing.T) {
+	mem := wal.NewMemFS()
+	faulty := wal.NewFaultFS(mem)
+	disk := pager.NewDisk()
+	d := newShardedUnderTest(t, faulty, disk, 3)
+	for i := 0; i < 400; i++ {
+		if err := d.Insert(i*17, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 400; i < 500; i++ {
+		if err := d.Insert(i*17, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	committed, ok, err := pager.ReadSuper(disk)
+	if err != nil || !ok {
+		t.Fatalf("ReadSuper = (%v, %v)", ok, err)
+	}
+	// Fail the migration after its intent record is durable: the first
+	// touch of any new-generation log file trips.
+	faulty.SetNameFilter(func(name string) bool { return strings.HasPrefix(name, "wal-1-") })
+	faulty.SetTrip(0)
+	if err := d.Rebalance(); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("rebalance = %v, want injected fault", err)
+	}
+	if mem.Bytes(IntentName) == nil {
+		t.Fatal("rebalance died after the intent write but left no intent record")
+	}
+	if _, err := d.Checkpoint(); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("checkpoint on a poisoned facade = %v, want the sticky fault", err)
+	}
+	if after, ok, err := pager.ReadSuper(disk); err != nil || !ok || after.Epoch != committed.Epoch {
+		t.Fatalf("poisoned checkpoint moved the committed epoch %d -> %d (ok=%v, err=%v)",
+			committed.Epoch, after.Epoch, ok, err)
+	}
+	mem.Crash()
+	rec := newShardedUnderTest(t, mem, disk, 3)
+	defer rec.Close()
+	if got := rec.Len(); got != 500 {
+		t.Fatalf("recovered %d pairs, want 500", got)
+	}
+	if g := rec.Generation(); g != 0 {
+		t.Fatalf("recovered generation %d, want 0 (the migration never committed)", g)
+	}
+	if mem.Bytes(IntentName) != nil {
+		t.Fatal("recovery left the stale intent record behind")
+	}
+}
+
+// TestCreateDurableShardedSupersedeCrash pins CreateDurableSharded's
+// supersede discipline: until the new store's first cut commits, a crash
+// must still recover the previous store in full — checkpointed base and
+// acknowledged WAL tail alike — and a committed supersede continues the
+// old store's generation sequence, sweeping its log files only after the
+// commit.
+func TestCreateDurableShardedSupersedeCrash(t *testing.T) {
+	mem := wal.NewMemFS()
+	disk := pager.NewDisk()
+
+	// Store A: a checkpointed base plus an acknowledged, never-checkpointed
+	// WAL tail. No Close — the process is about to "crash".
+	a := newShardedUnderTest(t, mem, disk, 3)
+	for i := 0; i < 300; i++ {
+		if err := a.Insert(i*13, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 300; i < 360; i++ {
+		if err := a.Insert(i*13, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A supersede attempt that dies before its first cut commits: the
+	// device rejects (tears) the very first page write.
+	tree, err := BulkLoad([]int{1, 2, 3}, []int{10, 20, 30}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdev := pager.NewFaultDevice(disk)
+	fdev.SetTrip(0)
+	if _, err := CreateDurableSharded(mem, fdev, tree, 2); !errors.Is(err, pager.ErrInjected) {
+		t.Fatalf("create on a dead device = %v, want injected fault", err)
+	}
+	mem.Crash()
+
+	rec := newShardedUnderTest(t, mem, disk, 3)
+	if got := rec.Len(); got != 360 {
+		t.Fatalf("recovered %d pairs after a failed supersede, want 360", got)
+	}
+	for i := 0; i < 360; i++ {
+		if v, ok := rec.Lookup(i * 13); !ok || v != i {
+			t.Fatalf("key %d: got (%d, %v), want (%d, true)", i*13, v, ok, i)
+		}
+	}
+	if g := rec.Generation(); g != 0 {
+		t.Fatalf("recovered generation %d, want 0", g)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A successful supersede continues the generation sequence and sweeps
+	// the old store's log files only after committing.
+	tree2, err := BulkLoad([]int{1, 2, 3}, []int{10, 20, 30}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := CreateDurableSharded(mem, disk, tree2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, d)
+	if g := d.Generation(); g != 1 {
+		t.Fatalf("superseding store at generation %d, want 1", g)
+	}
+	for _, name := range mem.Names() {
+		if strings.HasPrefix(name, "wal-0-") {
+			t.Fatalf("old generation's log %s survived a committed supersede", name)
+		}
+	}
+	if err := d.Insert(4, 40); err != nil {
+		t.Fatal(err)
+	}
+	mem.Crash()
+	rec2 := newShardedUnderTest(t, mem, disk, 2)
+	defer rec2.Close()
+	want := map[int]int{1: 10, 2: 20, 3: 30, 4: 40}
+	if got := rec2.Len(); got != len(want) {
+		t.Fatalf("recovered %d pairs after a committed supersede, want %d", got, len(want))
+	}
+	for k, v := range want {
+		if got, ok := rec2.Lookup(k); !ok || got != v {
+			t.Fatalf("key %d: got (%d, %v), want (%d, true)", k, got, ok, v)
+		}
+	}
+	if g := rec2.Generation(); g != 1 {
+		t.Fatalf("recovered generation %d, want 1", g)
+	}
+}

@@ -224,18 +224,22 @@ func DecodeShardManifest(data []byte) (ShardManifest, error) {
 
 // RebalanceIntent is the durable record a sharded facade writes before
 // migrating keys between shards: the fence layouts on both sides of the
-// migration and the checkpoint epoch it departs from. The migration
-// commits only with the next manifest flip (epoch SourceEpoch+1), so a
-// recovery that finds an intent whose SourceEpoch still equals the
-// committed epoch knows the migration never landed and discards it
-// wholesale; an intent with an older SourceEpoch is a committed
-// migration's leftover.
+// migration and the generation it creates. The migration commits only
+// with the next manifest flip, which carries Generation, so a recovery
+// that finds an intent whose Generation is still above the committed
+// manifest's knows the migration never landed and discards it
+// wholesale; an intent at or below the committed generation is a
+// committed migration's leftover. (Epochs are not compared: they
+// advance with every checkpoint, skip past failed commit attempts, and
+// restart relative to a superseded store, so they cannot classify a
+// stale intent safely.)
 type RebalanceIntent struct {
-	// SourceEpoch is the committed checkpoint epoch the migration started
-	// from.
+	// SourceEpoch is the in-memory checkpoint epoch the migration
+	// started from — diagnostic only; recovery classifies the intent by
+	// Generation.
 	SourceEpoch uint64
-	// Generation is the fence generation the migration creates
-	// (the manifest committed at SourceEpoch+1 carries it).
+	// Generation is the fence generation the migration creates (the
+	// manifest flip that commits the migration carries it).
 	Generation uint64
 	// OldFences and NewFences are the encoded fence keys before and after
 	// the migration.

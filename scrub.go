@@ -64,23 +64,20 @@ type ScrubReport struct {
 // parameters must match the store's key and value types.
 func Scrub[K Key, V any](dev pager.Device) (*ScrubReport, error) {
 	var rep ScrubReport
+	var slots [2]pager.Super
 	for slot := 0; slot < 2; slot++ {
 		s, ok, err := pager.ReadSuperAt(dev, pager.PageID(slot))
 		if err != nil {
 			return nil, fmt.Errorf("fitingtree: scrub superblock %d: %w", slot, err)
 		}
 		rep.Supers[slot] = ScrubSuper{Valid: ok, Epoch: s.Epoch}
+		slots[slot] = s
 	}
 	var super pager.Super
 	have := false
 	for slot := 0; slot < 2; slot++ {
-		if rep.Supers[slot].Valid && (!have || rep.Supers[slot].Epoch > super.Epoch) {
-			super.Epoch = rep.Supers[slot].Epoch
-			s, _, err := pager.ReadSuperAt(dev, pager.PageID(slot))
-			if err != nil {
-				return nil, err
-			}
-			super = s
+		if rep.Supers[slot].Valid && (!have || slots[slot].Epoch > super.Epoch) {
+			super = slots[slot]
 			have = true
 		}
 	}
