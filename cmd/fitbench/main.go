@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, recovery, shardrecovery, burst, strings, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig6..fig13, extio, extrange, extablation, parallel, shardwrite, flushstall, flushpub, recovery, shardrecovery, burst, strings, adaptive, all")
 		n        = flag.Int("n", 1_000_000, "base dataset size")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		probes   = flag.Int("probes", 100_000, "lookup probes per measurement")
@@ -81,6 +81,9 @@ func main() {
 		"strings": func() {
 			writeStringsJSON(*jsonPath, cfg, bench.ExtStrings(os.Stdout, cfg))
 		},
+		"adaptive": func() {
+			writeAdaptiveJSON(*jsonPath, cfg, bench.ExtAdaptive(os.Stdout, cfg))
+		},
 		"all": func() {
 			bench.AllButParallel(os.Stdout, cfg)
 			writeShardWriteJSON(suffixedPath(*jsonPath, "_shardwrite"), cfg, bench.ExtShardWrite(os.Stdout, cfg))
@@ -90,6 +93,7 @@ func main() {
 			writeShardRecoveryJSON(suffixedPath(*jsonPath, "_shardrecovery"), cfg, bench.ExtShardRecovery(os.Stdout, cfg))
 			writeBurstJSON(suffixedPath(*jsonPath, "_burst"), cfg, bench.ExtBurst(os.Stdout, cfg))
 			writeStringsJSON(suffixedPath(*jsonPath, "_strings"), cfg, bench.ExtStrings(os.Stdout, cfg))
+			writeAdaptiveJSON(suffixedPath(*jsonPath, "_adaptive"), cfg, bench.ExtAdaptive(os.Stdout, cfg))
 			writeParallelJSON(*jsonPath, cfg, bench.ExtParallel(os.Stdout, cfg))
 		},
 	}
@@ -99,9 +103,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "recovery": true, "shardrecovery": true, "burst": true, "strings": true, "all": true}
+	jsonExps := map[string]bool{"parallel": true, "shardwrite": true, "flushstall": true, "flushpub": true, "recovery": true, "shardrecovery": true, "burst": true, "strings": true, "adaptive": true, "all": true}
 	if *jsonPath != "" && !jsonExps[*exp] {
-		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, recovery, shardrecovery, burst, strings, or all\n")
+		fmt.Fprintf(os.Stderr, "fitbench: -json applies only to -exp parallel, shardwrite, flushstall, flushpub, recovery, shardrecovery, burst, strings, adaptive, or all\n")
 		os.Exit(2)
 	}
 	start := time.Now()
@@ -214,6 +218,19 @@ func writeBurstJSON(path string, cfg bench.Config, points []bench.BurstPoint) {
 func writeStringsJSON(path string, cfg bench.Config, points []bench.StringsPoint) {
 	writeJSON(path, bench.StringsReport{
 		Experiment: "strings",
+		N:          cfg.N,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	})
+}
+
+// writeAdaptiveJSON writes the adaptive experiment's machine-readable
+// report to path; it is a no-op when path is empty.
+func writeAdaptiveJSON(path string, cfg bench.Config, points []bench.AdaptivePoint) {
+	writeJSON(path, bench.AdaptiveReport{
+		Experiment: "adaptive",
 		N:          cfg.N,
 		Seed:       cfg.Seed,
 		NumCPU:     runtime.NumCPU(),

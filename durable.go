@@ -800,3 +800,9 @@ func (d *Durable[K, V]) SyncFlush() { d.opt.SyncFlush() }
 
 // SetAsyncFlush forwards to the inner Optimistic facade.
 func (d *Durable[K, V]) SetAsyncFlush(enabled bool) { d.opt.SetAsyncFlush(enabled) }
+
+// SetAutoTune enables or disables cost-model-driven self-tuning (see
+// Optimistic.SetAutoTune; disabled by default). Retuned layouts persist:
+// checkpoints record each page's error bound, so recovery reassembles
+// the tuned layout exactly.
+func (d *Durable[K, V]) SetAutoTune(enabled bool) { d.opt.SetAutoTune(enabled) }

@@ -82,6 +82,7 @@ type DurableSharded[K Key, V any] struct {
 	flushAt      atomic.Int64  // forwarded to every shard, current and future
 	maxFrozen    atomic.Int64  // forwarded to every shard, current and future
 	asyncOff     atomic.Bool   // forwarded to every shard, current and future
+	autoTuneOn   atomic.Bool   // forwarded to every shard, current and future
 	factor       atomic.Uint64 // rebalance skew factor (math.Float64bits)
 	writes       atomic.Uint64 // write counter gating the skew check
 	rebalancedAt atomic.Int64  // total elements when fences were last computed
@@ -374,6 +375,7 @@ func (d *DurableSharded[K, V]) newShard(tree *Tree[K, V], log *wal.Log) *dshard[
 	o.SetFlushEvery(int(d.flushAt.Load()))
 	o.SetMaxFrozenLayers(int(d.maxFrozen.Load()))
 	o.SetAsyncFlush(!d.asyncOff.Load())
+	o.SetAutoTune(d.autoTuneOn.Load())
 	o.SetFlushHook(func() {
 		select {
 		case d.trigger <- struct{}{}:
@@ -1016,7 +1018,7 @@ func (d *DurableSharded[K, V]) maybeRebalance() {
 		return
 	}
 	ss := d.set.Load()
-	if !shardsNeedRebalance(ss.opts, d.want, math.Float64frombits(d.factor.Load()),
+	if !shardsNeedRebalance(ss.opts, nil, d.want, math.Float64frombits(d.factor.Load()),
 		int(d.rebalancedAt.Load())) {
 		return
 	}
@@ -1028,7 +1030,7 @@ func (d *DurableSharded[K, V]) maybeRebalance() {
 		return
 	}
 	ss = d.set.Load()
-	if !shardsNeedRebalance(ss.opts, d.want, math.Float64frombits(d.factor.Load()),
+	if !shardsNeedRebalance(ss.opts, nil, d.want, math.Float64frombits(d.factor.Load()),
 		int(d.rebalancedAt.Load())) {
 		return // another writer migrated between the check and the lock
 	}
@@ -1276,6 +1278,20 @@ func (d *DurableSharded[K, V]) SetAsyncFlush(enabled bool) {
 	d.asyncOff.Store(!enabled)
 	for _, sh := range d.set.Load().opts {
 		sh.SetAsyncFlush(enabled)
+	}
+}
+
+// SetAutoTune enables or disables cost-model-driven self-tuning on every
+// shard (see Optimistic.SetAutoTune; disabled by default). Retuned
+// layouts persist: checkpoints record each page's error bound, so
+// recovery reassembles the tuned layout exactly. Shards created by later
+// rebalances inherit the value.
+func (d *DurableSharded[K, V]) SetAutoTune(enabled bool) {
+	d.reshape.RLock()
+	defer d.reshape.RUnlock()
+	d.autoTuneOn.Store(enabled)
+	for _, sh := range d.set.Load().opts {
+		sh.SetAutoTune(enabled)
 	}
 }
 

@@ -138,6 +138,12 @@ func verifyRecovery(t *testing.T, label string, fsys wal.FS, dev pager.Device, a
 		t.Fatalf("%s: recovery failed: %v", label, err)
 	}
 	rec.SetAutoCheckpoint(false)
+	// Structural check first: every recovered page must respect its own
+	// recorded error bound (werr), so a checkpoint written under a tuned
+	// per-region plan survives any fault trip with its layout intact.
+	if err := rec.opt.state.Load().tree.CheckInvariants(); err != nil {
+		t.Fatalf("%s: recovered invariants: %v", label, err)
+	}
 	got := dump(rec)
 	for m := len(states) - 1; m >= 0; m-- {
 		if pairsEqual(got, states[m].pairs) {

@@ -103,6 +103,11 @@ type Stats = core.Stats
 // Counters reports maintenance activity (inserts, merges, pages created).
 type Counters = core.Counters
 
+// RegionStat describes one self-tuner region: its per-region error
+// threshold and chunk-size target plus the sampled load that produced
+// them. Reported by Stats.Regions and by Optimistic.Retune.
+type RegionStat = core.RegionStat
+
 // BulkLoad builds a FITing-Tree over sorted keys (duplicates allowed) and
 // parallel values using the paper's one-pass segmentation. The input is
 // copied.

@@ -107,6 +107,7 @@ func TestExperimentSmoke(t *testing.T) {
 		{"parallel", func(w *bytes.Buffer) { ExtParallel(w, quickCfg()) }},
 		{"shardwrite", func(w *bytes.Buffer) { ExtShardWrite(w, quickCfg()) }},
 		{"flushstall", func(w *bytes.Buffer) { ExtFlushStall(w, quickCfg()) }},
+		{"adaptive", func(w *bytes.Buffer) { ExtAdaptive(w, quickCfg()) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

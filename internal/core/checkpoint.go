@@ -25,6 +25,12 @@ type PageSnap[K num.Key, V any] struct {
 	BufKeys []K
 	BufVals []V
 	Deletes int
+	// WErr is the segmentation error bound the page was built under
+	// (page.werr); persisting it is what lets recovery reproduce a
+	// region-retuned layout exactly. Zero in snapshots taken before the
+	// field existed; assembly then falls back to the options' global
+	// bound, which is what those pages were built with.
+	WErr int
 }
 
 // ChunkSnap is the serializable image of one chain chunk.
@@ -57,6 +63,7 @@ func (t *Tree[K, V]) ChunkSnap(i int) ChunkSnap[K, V] {
 			BufKeys: p.bufKeys,
 			BufVals: p.bufVals,
 			Deletes: p.deletes,
+			WErr:    p.werr,
 		}
 	}
 	return snap
@@ -75,6 +82,9 @@ func validateSnap[K num.Key, V any](ci int, snap ChunkSnap[K, V]) error {
 		}
 		if p.Deletes < 0 {
 			return fmt.Errorf("fitingtree: checkpoint chunk %d page %d: negative delete count", ci, pi)
+		}
+		if p.WErr < 0 {
+			return fmt.Errorf("fitingtree: checkpoint chunk %d page %d: negative error bound", ci, pi)
 		}
 		if p.Seg.Start != p.Seg.Start {
 			return fmt.Errorf("fitingtree: checkpoint chunk %d page %d: NaN start key", ci, pi)
@@ -123,7 +133,7 @@ func AssembleChunks[K num.Key, V any](snaps []ChunkSnap[K, V], opts Options) (*T
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree[K, V]{opts: o, segErr: o.segError(), strat: o.Search}
+	t := &Tree[K, V]{opts: o, segErr: o.segError(), strat: o.Search, tune: &tuneState[K]{}}
 	t.initRouter(o)
 	var prevStart K
 	havePrev := false
@@ -140,9 +150,14 @@ func AssembleChunks[K num.Key, V any](snaps []ChunkSnap[K, V], opts Options) (*T
 				return nil, fmt.Errorf("fitingtree: checkpoint chunk %d page %d: start keys not sorted", ci, pi)
 			}
 			prevStart, havePrev = ps.Seg.Start, true
+			werr := ps.WErr
+			if werr == 0 {
+				werr = o.segError() // pre-WErr snapshot: global bound applied
+			}
 			backing[pi] = page[K, V]{
 				id:      pageSeq.Add(1),
 				seg:     ps.Seg,
+				werr:    werr,
 				keys:    ps.Keys,
 				vals:    ps.Vals,
 				pref:    stringPrefixes(ps.Keys),

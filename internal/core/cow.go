@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fitingtree/internal/num"
 	"fitingtree/internal/segment"
@@ -73,6 +74,7 @@ func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 		segErr:   t.segErr,
 		strat:    t.strat,
 		counters: t.counters,
+		tune:     t.tune, // shared, not copied: one tuning state per lineage
 	}
 
 	addN := 0
@@ -109,17 +111,31 @@ func (t *Tree[K, V]) MergeCOW(ops []MergeOp[K, V]) *Tree[K, V] {
 			deleted += d
 			rebuilt[i] = t.buildPages(keys, vals, &nt.counters)
 			dirty += t.regionLen(iv)
+			// Feed the tuner: the rebuilt pages inherit the region's
+			// decayed load counters plus this batch's op count.
+			var sr, sw uint64
+			t.eachRegionPage(iv, func(p *page[K, V]) {
+				sr += atomic.LoadUint64(&p.reads)
+				sw += atomic.LoadUint64(&p.writes)
+			})
+			opN := 0
+			for _, op := range ops[iv.opLo:iv.opHi] {
+				opN += len(op.Adds) + op.Dels + len(op.Tombs)
+			}
+			carryLoad(sr, sw, opN, rebuilt[i])
 		}
 
 		// Router maintenance is hybrid. The persistent clone pays a few
 		// node copies (O(log segments)) per dirty routed page; a bulk
 		// reload pays O(segments) once but with bulk-load constants —
-		// roughly one slice append per entry. The measured crossover sits
-		// near one router edit per ~32 entries, so clone incrementally
-		// only when the delta dirties less than that fraction of the
-		// pages; a scattered delta falls back to the bulk load, which
-		// still shares every carried page and untouched chunk.
-		incremental := dirty*32 < t.pageCount()
+		// roughly one slice append per entry. The crossover — router
+		// edits cost about `ratio` bulk-loaded entries each — defaults to
+		// the historical hand-calibrated 32 and is replaced by
+		// CalibrateRouter's measurement on this router kind and host, so
+		// clone incrementally only when the delta dirties less than that
+		// fraction of the pages; a scattered delta falls back to the bulk
+		// load, which still shares every carried page and untouched chunk.
+		incremental := dirty*t.tune.ratioOr(routerRatioDefault) < t.pageCount()
 		if incremental {
 			nt.adoptRouter(t)
 			t.retireDirtyEntries(nt, ivs)
@@ -231,10 +247,15 @@ func (t *Tree[K, V]) insertRebuiltEntries(nt *Tree[K, V], ivs []cowInterval, reb
 // chunk spine. Intervals sharing a chunk form one cluster (a chunk is
 // re-cut at most once); within a cluster's chunk span, carried pages move
 // into the fresh chunks by reference and dirty ranges are substituted
-// with their rebuilt pages. Clusters splice right to left so the chunk
-// indices of pending clusters stay valid.
+// with their rebuilt pages. Adjacent under-full chunks are absorbed into
+// the re-cut — pages still carried by reference, only the spine rebuilt —
+// so delete-eroded chunks re-merge with the next fold that touches their
+// neighborhood instead of accumulating forever. Clusters splice right to
+// left so the chunk indices of pending clusters stay valid.
 func (t *Tree[K, V]) spliceClusters(nt *Tree[K, V], ivs []cowInterval, rebuilt [][]*page[K, V]) {
 	nt.chunks = append([]*chunk[K, V](nil), t.chunks...)
+	plan := t.tune.planOf()
+	limit := len(t.chunks) // chunks at/after this index belong to an already-spliced cluster
 	hi := len(ivs)
 	for hi > 0 {
 		// The cluster is ivs[lo:hi]; members share chunks pairwise.
@@ -243,6 +264,16 @@ func (t *Tree[K, V]) spliceClusters(nt *Tree[K, V], ivs []cowInterval, rebuilt [
 			lo--
 		}
 		cLo, cHi := ivs[lo].loCI, ivs[hi-1].hiCI
+		floor := -1
+		if lo > 0 {
+			floor = ivs[lo-1].hiCI // the next cluster to the left ends here
+		}
+		for cLo-1 > floor && underfull(t.chunks[cLo-1]) {
+			cLo--
+		}
+		for cHi+1 < limit && underfull(t.chunks[cHi+1]) {
+			cHi++
+		}
 		var np []*page[K, V]
 		pos := cursor[K, V]{c: t.chunks[cLo], pi: 0, ci: cLo}
 		valid := true
@@ -259,7 +290,8 @@ func (t *Tree[K, V]) spliceClusters(nt *Tree[K, V], ivs []cowInterval, rebuilt [
 			np = append(np, t.pageOf(pos))
 			pos, valid = t.next(pos)
 		}
-		nt.chunks = spliceChunks(nt.chunks, cLo, cHi-cLo+1, cutChunks(np))
+		nt.chunks = spliceChunks(nt.chunks, cLo, cHi-cLo+1, cutChunksPlan(np, plan))
+		limit = cLo
 		hi = lo
 	}
 }
@@ -297,13 +329,40 @@ func (t *Tree[K, V]) startsInterval(p *page[K, V], iv cowInterval) bool {
 
 // buildPages re-segments a sorted merged run into fresh pages, counting the
 // work in ctr. The run's backing arrays are shared by sub-slicing, as in
-// merge.
+// merge. Under a region plan the run is split at region boundaries and
+// each piece segmented with its region's error bound — the lazy-retarget
+// protocol: a plan change costs nothing until a rebuild was going to
+// happen anyway.
 func (t *Tree[K, V]) buildPages(keys []K, vals []V, ctr *Counters) []*page[K, V] {
 	if len(keys) == 0 {
 		return nil
 	}
-	segs := segment.ShrinkingCone(keys, t.opts.segError())
 	ctr.Merges++
+	plan := t.tune.planOf()
+	if plan == nil || len(plan.targets) == 0 {
+		return t.buildPagesErr(keys, vals, t.opts.segError(), ctr)
+	}
+	var pages []*page[K, V]
+	for lo := 0; lo < len(keys); {
+		ri := plan.regionOf(keys[lo])
+		hi := len(keys)
+		if ri+1 < len(plan.targets) {
+			// First key of the next region; keys[lo] precedes that region's
+			// start, so the sub-run is never empty.
+			if at, _ := findKey(keys, plan.targets[ri+1].Start); at > lo {
+				hi = at
+			}
+		}
+		pages = append(pages, t.buildPagesErr(keys[lo:hi], vals[lo:hi], plan.segErrAt(ri, t.opts.BufferSize), ctr)...)
+		lo = hi
+	}
+	return pages
+}
+
+// buildPagesErr segments one sorted run under a single error bound,
+// stamping the bound on every page it cuts.
+func (t *Tree[K, V]) buildPagesErr(keys []K, vals []V, segErr int, ctr *Counters) []*page[K, V] {
+	segs := segment.ShrinkingCone(keys, segErr)
 	ctr.PagesMade += len(segs)
 	pages := make([]*page[K, V], len(segs))
 	for i, s := range segs {
@@ -311,6 +370,7 @@ func (t *Tree[K, V]) buildPages(keys []K, vals []V, ctr *Counters) []*page[K, V]
 			segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
 			keys[s.StartPos:s.EndPos():s.EndPos()],
 			vals[s.StartPos:s.EndPos():s.EndPos()],
+			segErr,
 		)
 	}
 	return pages

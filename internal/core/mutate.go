@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"fitingtree/internal/num"
 	"fitingtree/internal/segment"
 )
@@ -18,7 +20,7 @@ func (t *Tree[K, V]) Insert(k K, v V) {
 	cu, ok := t.insertCursor(k)
 	if !ok {
 		// Empty tree: create the initial page and chunk.
-		p := newPage(segment.Segment[K]{Start: k, Count: 1, Slope: 0}, []K{k}, []V{v})
+		p := newPage(segment.Segment[K]{Start: k, Count: 1, Slope: 0}, []K{k}, []V{v}, t.segErrFor(k))
 		t.chunks = []*chunk[K, V]{newChunk([]*page[K, V]{p})}
 		t.idx.insert(k, p)
 		return
@@ -90,7 +92,7 @@ func (t *Tree[K, V]) DeleteWhere(k K, pred func(V) bool) bool {
 				}
 			}
 		}
-		if i, ok := p.dataSearch(k, t.segErr, t.strat); ok {
+		if i, ok := p.dataSearch(k, p.werr, t.strat); ok {
 			// dataSearch returns the leftmost match in the page; every
 			// duplicate of k in this page is contiguous from there.
 			for j := i; j < len(p.keys) && p.keys[j] == k; j++ {
@@ -158,7 +160,7 @@ func (t *Tree[K, V]) splicePages(cu cursor[K, V], removed int, pages []*page[K, 
 	case len(np) == 0:
 		t.chunks = spliceChunks(t.chunks, cu.ci, 1, nil)
 	case len(np) > chunkMax:
-		t.chunks = spliceChunks(t.chunks, cu.ci, 1, cutChunks(np))
+		t.chunks = spliceChunks(t.chunks, cu.ci, 1, cutChunksPlan(np, t.tune.planOf()))
 	default:
 		c.pages = np
 	}
@@ -212,7 +214,10 @@ func (t *Tree[K, V]) merge(cu cursor[K, V]) {
 		t.removePage(cu)
 		return
 	}
-	segs := segment.ShrinkingCone(mergedKeys, t.opts.segError())
+	// The run spans a single page's key range, so one region target
+	// applies; a retuned region takes effect here on the next merge.
+	segErr := t.segErrFor(mergedKeys[0])
+	segs := segment.ShrinkingCone(mergedKeys, segErr)
 	t.counters.PagesMade += len(segs)
 
 	pages := make([]*page[K, V], len(segs))
@@ -224,8 +229,11 @@ func (t *Tree[K, V]) merge(cu cursor[K, V]) {
 			// own window of the backing array.
 			mergedKeys[s.StartPos:s.EndPos():s.EndPos()],
 			mergedVals[s.StartPos:s.EndPos():s.EndPos()],
+			segErr,
 		)
 	}
+	carryLoad(atomic.LoadUint64(&p.reads), atomic.LoadUint64(&p.writes),
+		len(p.bufKeys)+p.deletes, pages)
 
 	t.reindexSplice(cu, pages)
 	t.splicePages(cu, 1, pages)

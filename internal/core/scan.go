@@ -256,6 +256,14 @@ type Stats struct {
 	Height       int   // inner tree height
 	IndexSize    int64 // bytes: inner tree + 24 B/segment metadata (paper's accounting)
 	DataSize     int64 // bytes of table data incl. buffers (not part of the index)
+
+	// Self-tuning observability (see tuner.go). Regions is the current
+	// per-region plan — targets plus the load sample that produced them —
+	// empty until the first Retune. UnderfullChunks counts chunks below
+	// the re-merge threshold (fewer than chunkTarget/underfullDiv pages);
+	// fold-time absorption keeps it bounded under delete-heavy load.
+	Regions         []RegionStat
+	UnderfullChunks int
 }
 
 // Stats traverses the tree and returns its statistics. The IndexSize
@@ -265,6 +273,9 @@ type Stats struct {
 func (t *Tree[K, V]) Stats() Stats {
 	s := Stats{Elements: t.size, Chunks: len(t.chunks)}
 	for _, c := range t.chunks {
+		if underfull(c) {
+			s.UnderfullChunks++
+		}
 		for _, p := range c.pages {
 			s.Pages++
 			s.Buffered += len(p.bufKeys)
@@ -275,6 +286,12 @@ func (t *Tree[K, V]) Stats() Stats {
 	s.Inner = t.idx.stats()
 	s.Height = s.Inner.Height
 	s.IndexSize = s.Inner.SizeBytes + int64(s.Pages)*24
+	if plan := t.tune.planOf(); plan != nil {
+		s.Regions = make([]RegionStat, len(plan.targets))
+		for i, rt := range plan.targets {
+			s.Regions[i] = rt.RegionStat
+		}
+	}
 	return s
 }
 
@@ -284,7 +301,6 @@ func (t *Tree[K, V]) CheckInvariants() error {
 	if err := t.idx.check(); err != nil {
 		return fmt.Errorf("fitingtree: inner tree: %w", err)
 	}
-	segErr := t.opts.segError()
 	count := 0
 	routed := 0
 	var prev *page[K, V]
@@ -339,17 +355,22 @@ func (t *Tree[K, V]) CheckInvariants() error {
 			if len(p.bufKeys) > num.MaxInt(1, t.opts.BufferSize) {
 				return fmt.Errorf("fitingtree: buffer overflow (%d) at %v", len(p.bufKeys), p.start())
 			}
-			// Error bound: every data element within segErr + pending
-			// deletes of its predicted position.
+			// Error bound: every data element within the page's build-time
+			// bound + pending deletes of its predicted position. The bound
+			// is per page — regions retuned to different ε coexist — and
+			// must be recorded, or the lookup window would be undefined.
+			if p.werr < 1 {
+				return fmt.Errorf("fitingtree: page %v carries no error bound", p.start())
+			}
 			for i := range p.keys {
 				pred := p.seg.Predict(p.keys[i])
 				dev := pred - float64(i)
 				if dev < 0 {
 					dev = -dev
 				}
-				if dev > float64(segErr+p.deletes)+1e-6 {
+				if dev > float64(p.werr+p.deletes)+1e-6 {
 					return fmt.Errorf("fitingtree: error bound violated at page %v offset %d: |%.2f| > %d",
-						p.start(), i, dev, segErr+p.deletes)
+						p.start(), i, dev, p.werr+p.deletes)
 				}
 			}
 			// Chain order and routing.

@@ -24,8 +24,9 @@ import (
 
 // Snapshot wire format discriminators (first byte of an encoded chunk).
 const (
-	snapFormatRaw byte = 1 // fixed-width little-endian fields
-	snapFormatGob byte = 2 // gob-encoded ChunkSnap
+	snapFormatRaw   byte = 1 // fixed-width little-endian fields
+	snapFormatGob   byte = 2 // gob-encoded ChunkSnap
+	snapFormatRawV3 byte = 3 // raw + a u32 per-page error bound (WErr)
 )
 
 // errSnapTruncated is returned when a raw snapshot ends mid-field.
@@ -454,10 +455,10 @@ func (c *SnapCodec[K, V]) Encode(snap ChunkSnap[K, V]) ([]byte, error) {
 	// a capacity hint otherwise (variable-width fields grow the buffer).
 	size := 1 + 4
 	for _, p := range snap.Pages {
-		size += 32 + 4 + 16*len(p.Keys) + 4 + 16*len(p.BufKeys) + 4
+		size += 32 + 4 + 16*len(p.Keys) + 4 + 16*len(p.BufKeys) + 8
 	}
 	buf := make([]byte, 1, size)
-	buf[0] = snapFormatRaw
+	buf[0] = snapFormatRawV3
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap.Pages)))
 	for _, p := range snap.Pages {
 		buf = c.encKey(buf, p.Seg.Start)
@@ -471,6 +472,7 @@ func (c *SnapCodec[K, V]) Encode(snap ChunkSnap[K, V]) ([]byte, error) {
 		buf = c.encKeys(buf, p.BufKeys)
 		buf = c.encVals(buf, p.BufVals)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Deletes))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.WErr))
 	}
 	return buf, nil
 }
@@ -497,12 +499,18 @@ func (c *SnapCodec[K, V]) Decode(data []byte) (ChunkSnap[K, V], error) {
 		// exported fields, so a crafted stream could set it.
 		snap.KeysVerified = false
 		return snap, nil
-	case snapFormatRaw:
+	case snapFormatRaw, snapFormatRawV3:
 	default:
 		return snap, fmt.Errorf("fitingtree: unknown chunk snapshot format %d", data[0])
 	}
 	if c.decVals == nil {
 		return snap, fmt.Errorf("fitingtree: raw chunk snapshot for a value type without a raw codec")
+	}
+	// Format 1 predates per-page error bounds; its pages decode with WErr 0
+	// and AssembleChunks applies the options' global bound.
+	tail := 4
+	if data[0] == snapFormatRawV3 {
+		tail = 8
 	}
 	data = data[1:]
 	if len(data) < 4 {
@@ -523,7 +531,7 @@ func (c *SnapCodec[K, V]) Decode(data []byte) (ChunkSnap[K, V], error) {
 	var keyArena []K
 	var valArena []V
 	if c.decValsInto != nil && c.kFixed {
-		if total, ok := rawSnapTotal(data, nPages); ok {
+		if total, ok := rawSnapTotal(data, nPages, tail); ok {
 			keyArena = make([]K, total)
 			valArena = make([]V, total)
 		}
@@ -586,11 +594,14 @@ func (c *SnapCodec[K, V]) Decode(data []byte) (ChunkSnap[K, V], error) {
 				return snap, err
 			}
 		}
-		if len(data) < 4 {
+		if len(data) < tail {
 			return snap, errSnapTruncated
 		}
 		p.Deletes = int(binary.LittleEndian.Uint32(data))
-		data = data[4:]
+		if tail == 8 {
+			p.WErr = int(binary.LittleEndian.Uint32(data[4:]))
+		}
+		data = data[tail:]
 	}
 	if len(data) != 0 {
 		return snap, fmt.Errorf("fitingtree: chunk snapshot carries %d trailing bytes", len(data))
@@ -602,10 +613,11 @@ func (c *SnapCodec[K, V]) Decode(data []byte) (ChunkSnap[K, V], error) {
 
 // rawSnapTotal walks a raw snapshot body (past the page count) assuming
 // the fixed 8-byte value encoding and returns the total element count
-// across all pages, sorted plus buffered. ok is false when the walk runs
+// across all pages, sorted plus buffered. tail is the per-page trailer
+// size (4 for format 1, 8 for format 3). ok is false when the walk runs
 // off the data — the caller then falls back to the per-page path, whose
 // bounds checks produce the precise error.
-func rawSnapTotal(data []byte, nPages int) (total int, ok bool) {
+func rawSnapTotal(data []byte, nPages, tail int) (total int, ok bool) {
 	for i := 0; i < nPages; i++ {
 		if len(data) < 36 {
 			return 0, false
@@ -627,10 +639,10 @@ func rawSnapTotal(data []byte, nPages int) (total int, ok bool) {
 		}
 		data = data[16*n:]
 		total += n
-		if len(data) < 4 {
+		if len(data) < tail {
 			return 0, false
 		}
-		data = data[4:]
+		data = data[tail:]
 	}
 	return total, len(data) == 0
 }

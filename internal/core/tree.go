@@ -143,10 +143,22 @@ var pageSeq atomic.Uint64
 // insert buffer. Pages carry no chain links — their position is a property
 // of the chunk holding them, not of the page — so a page is a value that
 // can appear in several trees at once. A page reachable from more than one
-// tree (published by MergeCOW) must never be mutated.
+// tree (published by MergeCOW) must never be mutated — with one carve-out:
+// reads and writes are load counters touched only through sync/atomic, the
+// self-tuning feedback signal (see tuner.go), and carry no structural
+// meaning.
 type page[K num.Key, V any] struct {
+	// reads and writes lead the struct so the 64-bit atomic accesses stay
+	// aligned on 32-bit platforms. reads approximates lookups served by
+	// this page (sampled: 1 in readSamplePages pages counts, scaled back
+	// up); writes approximates merge ops folded into the page's region,
+	// carried forward with decay across rebuilds (see carryLoad).
+	reads  uint64
+	writes uint64
+
 	id      uint64             // process-unique identity, for sharing diagnostics
 	seg     segment.Segment[K] // prediction model over keys as of last (re)build
+	werr    int                // segmentation error bound this page was built under (>= 1)
 	keys    []K                // sorted segment data
 	vals    []V                // parallel to keys
 	pref    []uint64           // string keys only: parallel 8-byte ordering prefixes
@@ -157,9 +169,9 @@ type page[K num.Key, V any] struct {
 }
 
 // newPage allocates a page with a fresh identity over the given segment
-// data.
-func newPage[K num.Key, V any](seg segment.Segment[K], keys []K, vals []V) *page[K, V] {
-	return &page[K, V]{id: pageSeq.Add(1), seg: seg, keys: keys, vals: vals,
+// data, built under segmentation error bound werr.
+func newPage[K num.Key, V any](seg segment.Segment[K], keys []K, vals []V, werr int) *page[K, V] {
+	return &page[K, V]{id: pageSeq.Add(1), seg: seg, werr: werr, keys: keys, vals: vals,
 		pref: stringPrefixes(keys), fixed8: allLen8(keys)}
 }
 
@@ -237,13 +249,28 @@ func (c *chunk[K, V]) start() K { return c.pages[0].start() }
 
 // cutChunks groups pages into fresh chunks of chunkTarget pages each.
 func cutChunks[K num.Key, V any](pages []*page[K, V]) []*chunk[K, V] {
+	return cutChunksPlan(pages, nil)
+}
+
+// cutChunksPlan is cutChunks with a per-region chunk size: each chunk's
+// page-count target is the tuner's target for the region holding the
+// chunk's first page (chunkTarget when plan is nil or the region has no
+// override). Smaller targets in write-hot regions shrink the width of
+// future re-cuts; larger ones in cold regions shrink the top-level spine
+// copy a publication pays.
+func cutChunksPlan[K num.Key, V any](pages []*page[K, V], plan *regionPlan[K]) []*chunk[K, V] {
 	if len(pages) == 0 {
 		return nil
 	}
 	chunks := make([]*chunk[K, V], 0, (len(pages)+chunkTarget-1)/chunkTarget)
-	for at := 0; at < len(pages); at += chunkTarget {
-		end := num.MinInt(at+chunkTarget, len(pages))
+	for at := 0; at < len(pages); {
+		target := chunkTarget
+		if plan != nil {
+			target = plan.chunkTargetFor(pages[at].start())
+		}
+		end := num.MinInt(at+target, len(pages))
 		chunks = append(chunks, newChunk(pages[at:end:end]))
+		at = end
 	}
 	return chunks
 }
@@ -289,6 +316,14 @@ type Tree[K num.Key, V any] struct {
 	rim    *implicitRouter[K, V]
 
 	counters Counters
+
+	// tune is the self-tuning state shared by every tree in a MergeCOW
+	// lineage (the pointer is carried, not copied, across publications):
+	// the per-region layout plan, the measured router-maintenance
+	// crossover, and the calibration latch. See tuner.go. May be nil for
+	// trees built by internal surgery; all tuner entry points tolerate
+	// that.
+	tune *tuneState[K]
 }
 
 // initRouter installs a fresh empty router of the kind selected by o,
@@ -370,6 +405,7 @@ func BulkLoad[K num.Key, V any](keys []K, vals []V, opts Options) (*Tree[K, V], 
 		size:   len(keys),
 		segErr: o.segError(),
 		strat:  o.Search,
+		tune:   &tuneState[K]{},
 	}
 	t.initRouter(o)
 	if len(keys) == 0 {
@@ -383,6 +419,7 @@ func BulkLoad[K num.Key, V any](keys []K, vals []V, opts Options) (*Tree[K, V], 
 			segment.Segment[K]{Start: s.Start, StartPos: 0, Count: s.Count, Slope: s.Slope},
 			append([]K(nil), keys[s.StartPos:s.EndPos()]...),
 			append([]V(nil), vals[s.StartPos:s.EndPos()]...),
+			o.segError(),
 		)
 	}
 	t.chunks = cutChunks(pages)
@@ -566,9 +603,12 @@ func (t *Tree[K, V]) locateCursor(k K) (cursor[K, V], bool) {
 }
 
 // searchPage looks for k inside a single page (segment data window plus
-// buffer). It returns the value of the first match found.
+// buffer). It returns the value of the first match found. The window
+// half-width is the page's own build-time error bound, not the tree
+// default: under a region plan, pages in different regions carry
+// different ε.
 func (t *Tree[K, V]) searchPage(p *page[K, V], k K) (V, bool) {
-	if i, ok := p.dataSearch(k, t.segErr, t.strat); ok {
+	if i, ok := p.dataSearch(k, p.werr, t.strat); ok {
 		return p.vals[i], true
 	}
 	if i, ok := findKey(p.bufKeys, k); ok {
@@ -610,6 +650,13 @@ func (t *Tree[K, V]) Lookup(k K) (V, bool) {
 		var zero V
 		return zero, false
 	}
+	// Read-load sampling for the tuner: 1 in readSamplePages pages (by
+	// identity, so the gate costs one mask on data already loaded) counts
+	// its lookups, scaled back up. Pages off the sample never touch
+	// shared memory here.
+	if p.id&(readSamplePages-1) == 0 {
+		atomic.AddUint64(&p.reads, readSamplePages)
+	}
 	// Fast path: the routed page holds a match; no chain coordinates are
 	// ever derived.
 	if v, found := t.searchPage(p, k); found {
@@ -635,7 +682,7 @@ func (t *Tree[K, V]) Each(k K, fn func(v V) bool) {
 		return
 	}
 	for {
-		if !t.pageOf(cu).eachMatch(k, t.segErr, t.strat, fn) {
+		if p := t.pageOf(cu); !p.eachMatch(k, p.werr, t.strat, fn) {
 			return
 		}
 		nx, has := t.next(cu)

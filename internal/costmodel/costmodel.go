@@ -25,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"fitingtree/internal/num"
@@ -208,6 +209,44 @@ func (m *Model) PickForSpace(budgetBytes int64, candidates []int) (e int, ok boo
 // timing a dependent pointer chase through a buffer much larger than the
 // CPU caches. This is the same methodology the paper uses to pick c = 50ns
 // for its hardware.
+// cacheMiss memoizes the pointer-chase measurement process-wide: the cost
+// of a random access is a property of the host, not of any one tree, and
+// the chase itself walks a 64MB buffer for about a hundred milliseconds —
+// far too expensive to repeat per Tune call or per background retune.
+// ns <= 0 means "not yet measured".
+var cacheMiss struct {
+	mu sync.Mutex
+	ns float64
+}
+
+// CacheMissNs returns the host's measured random-access cost in
+// nanoseconds, running MeasureCacheMissNs on first use and caching the
+// result for the life of the process. Tests override it with
+// SetCacheMissNsForTest to stay fast and deterministic.
+func CacheMissNs() float64 {
+	cacheMiss.mu.Lock()
+	defer cacheMiss.mu.Unlock()
+	if cacheMiss.ns <= 0 {
+		cacheMiss.ns = MeasureCacheMissNs(64<<20, 1_000_000)
+	}
+	return cacheMiss.ns
+}
+
+// SetCacheMissNsForTest pins the memoized cache-miss cost, skipping the
+// measurement. It returns a restore function; tests call it as
+// `defer SetCacheMissNsForTest(50)()`.
+func SetCacheMissNsForTest(ns float64) func() {
+	cacheMiss.mu.Lock()
+	prev := cacheMiss.ns
+	cacheMiss.ns = ns
+	cacheMiss.mu.Unlock()
+	return func() {
+		cacheMiss.mu.Lock()
+		cacheMiss.ns = prev
+		cacheMiss.mu.Unlock()
+	}
+}
+
 func MeasureCacheMissNs(bufBytes int, steps int) float64 {
 	n := bufBytes / 8
 	if n < 1024 {

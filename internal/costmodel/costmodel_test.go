@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"fitingtree/internal/btree"
-	"fitingtree/internal/core"
 	"fitingtree/internal/workload"
 )
 
@@ -83,29 +82,6 @@ func TestSizeShrinksWithError(t *testing.T) {
 	}
 	if m.Size(10000) < 24 {
 		t.Fatalf("Size(10000)=%d below one segment's metadata", m.Size(10000))
-	}
-}
-
-// TestSizeIsUpperBoundOfActual is the Figure 10b claim: the predicted size
-// is pessimistic, i.e. at least the measured index size.
-func TestSizeIsUpperBoundOfActual(t *testing.T) {
-	keys := workload.Weblogs(200_000, 1)
-	m := learned(t)
-	vals := make([]int, len(keys))
-	for _, e := range []int{32, 100, 1000} {
-		tr, err := core.BulkLoad(keys, vals, core.Options{Error: e, FillFactor: 0.5})
-		if err != nil {
-			t.Fatal(err)
-		}
-		actual := tr.Stats().IndexSize
-		predicted := m.Size(e)
-		if predicted < actual {
-			t.Fatalf("e=%d: predicted %d < actual %d, model not pessimistic", e, predicted, actual)
-		}
-		// But not absurdly loose either (within ~20x).
-		if predicted > actual*20 {
-			t.Fatalf("e=%d: predicted %d over 20x actual %d", e, predicted, actual)
-		}
 	}
 }
 

@@ -277,3 +277,35 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	t.Logf("golden hashes: %#v", got)
 }
+
+func TestHotColdSkew(t *testing.T) {
+	base := make([]uint64, 10_000)
+	for i := range base {
+		base[i] = uint64(i) * 10
+	}
+	lo, hi := HotRange(len(base), 0.45, 0.10)
+	if lo != 4500 || hi != 5500 {
+		t.Fatalf("HotRange = [%d, %d), want [4500, 5500)", lo, hi)
+	}
+	draws := HotCold(base, 20_000, 0.45, 0.10, 0.9, 1)
+	inHot := 0
+	for _, k := range draws {
+		if k >= base[lo] && k < base[hi-1]+1 {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(len(draws))
+	// 90% targeted plus ~10% uniform spillover into the hot tenth: ~0.91.
+	if frac < 0.85 || frac > 0.97 {
+		t.Fatalf("hot fraction %f outside [0.85, 0.97]", frac)
+	}
+	for _, k := range HotCold(base, 1_000, 0.45, 0.10, 1, 2) {
+		if k < base[lo] || k > base[hi-1] {
+			t.Fatalf("hotFrac=1 draw %d escaped the hot range", k)
+		}
+	}
+	// Degenerate geometry clamps instead of panicking.
+	if lo, hi := HotRange(10, 0.99, 0.5); lo < 0 || hi > 10 || lo >= hi {
+		t.Fatalf("clamped HotRange = [%d, %d)", lo, hi)
+	}
+}

@@ -35,6 +35,13 @@ const FlushBackpressureFactor = 4
 // bound) is folded into the base tree instead.
 const compactTierFactor = 4
 
+// tuneFoldsEvery is how many base-tree folds pass between automatic
+// retunes when self-tuning is enabled (SetAutoTune): each fold feeds
+// fresh load samples into the page counters, so retuning on every fold
+// would chase noise while retuning too rarely leaves stale ε targets in
+// place across workload shifts.
+const tuneFoldsEvery = 4
+
 // Optimistic is a concurrency facade over a Tree with latch-free reads
 // under a single-writer model, the regime the FB+-tree line of work calls
 // optimistic lock coupling: Lookup, Contains, Each, AscendRange and
@@ -102,6 +109,12 @@ type Optimistic[K Key, V any] struct {
 	// flushHook, when set, is called after every publication that installs
 	// a new base tree (see SetFlushHook).
 	flushHook atomic.Pointer[func()]
+
+	// autoTune enables the self-tuning loop (SetAutoTune): one-shot router
+	// crossover calibration plus a cost-model retune every tuneFoldsEvery
+	// base-tree folds. Off by default. tuneFolds counts folds.
+	autoTune  atomic.Bool
+	tuneFolds atomic.Uint64
 }
 
 // ostate is one immutable published state. Neither the tree nor any delta
@@ -213,6 +226,56 @@ func (o *Optimistic[K, V]) SetAsyncFlush(enabled bool) {
 	o.asyncOff.Store(!enabled)
 }
 
+// SetAutoTune enables or disables cost-model-driven self-tuning
+// (disabled by default). Enabled, the first base-tree fold calibrates the
+// router-maintenance crossover by measurement (Tree.CalibrateRouter) and
+// every tuneFoldsEvery-th fold re-derives the per-region layout plan from
+// the pages' sampled load counters (Tree.Retune) — tight error bounds
+// where lookups dominate, loose bounds and small chunks where inserts
+// dominate. Plans apply lazily as folds rebuild dirty regions, so
+// enabling it never triggers a rebuild by itself. Safe to toggle at any
+// time.
+func (o *Optimistic[K, V]) SetAutoTune(enabled bool) { o.autoTune.Store(enabled) }
+
+// Retune immediately derives and publishes a fresh per-region layout plan
+// from the base tree's load counters, returning the plan's regions (nil
+// when the tree is empty). The plan takes effect lazily on subsequent
+// flushes; call SyncFlush first for counters that include all pending
+// writes. Useful for deterministic tests and for workloads with known
+// phase changes; the automatic loop (SetAutoTune) calls the same
+// machinery.
+func (o *Optimistic[K, V]) Retune() []RegionStat {
+	return o.state.Load().tree.Retune()
+}
+
+// Calibrate measures the router-maintenance crossover on the current base
+// tree and returns the ratio in effect afterwards; see
+// Tree.CalibrateRouter.
+func (o *Optimistic[K, V]) Calibrate() int {
+	return o.state.Load().tree.CalibrateRouter()
+}
+
+// tuneBeforeFold runs the self-tuning hooks ahead of a fold into the base
+// tree: one-shot router calibration, then a retune every tuneFoldsEvery
+// folds so the fold itself applies fresh region targets to the pages it
+// was going to rebuild anyway.
+func (o *Optimistic[K, V]) tuneBeforeFold(t *Tree[K, V]) {
+	if !o.autoTune.Load() {
+		return
+	}
+	t.EnsureCalibrated()
+	if o.tuneFolds.Add(1)%tuneFoldsEvery == 0 {
+		t.Retune()
+	}
+}
+
+// Counters returns the base tree's maintenance counters (inserts, merges,
+// pages rebuilt) accumulated since the build. Pending deltas are not
+// reflected until they fold; call SyncFlush first for an exact cut.
+func (o *Optimistic[K, V]) Counters() Counters {
+	return o.state.Load().tree.Counters()
+}
+
 // BackpressureFolds returns the number of inline backpressure folds so
 // far: writes that tripped the flush threshold while the frozen ladder
 // was full and the active delta had grown past the backpressure bound,
@@ -234,6 +297,7 @@ func (o *Optimistic[K, V]) SyncFlush() {
 	if len(st.frozen) == 0 && st.delta == nil {
 		return
 	}
+	o.tuneBeforeFold(st.tree)
 	o.publish(&ostate[K, V]{tree: st.fold(), size: st.size})
 }
 
@@ -510,6 +574,7 @@ func (o *Optimistic[K, V]) maybeFlush(st *ostate[K, V]) *ostate[K, V] {
 		// Inline mode. Frozen layers can linger from a just-disabled
 		// pipeline; fold them below the active delta, same layering as
 		// reads.
+		o.tuneBeforeFold(st.tree)
 		return &ostate[K, V]{tree: st.fold(), size: st.size}
 	}
 	if len(st.frozen) < int(o.maxFrozen.Load()) {
@@ -530,6 +595,7 @@ func (o *Optimistic[K, V]) maybeFlush(st *ostate[K, V]) *ostate[K, V] {
 	// worker's stale merge is discarded when it fails the layer-identity
 	// check at publication.
 	o.bpFolds.Add(1)
+	o.tuneBeforeFold(st.tree)
 	return &ostate[K, V]{tree: st.fold(), size: st.size}
 }
 
@@ -641,6 +707,7 @@ func (st *ostate[K, V]) compactLayers(i int) *odelta[K, V] {
 // foldBottom merges the ladder's bottom layer into the base tree off-lock
 // and publishes the result, identified by layer pointer like compactPair.
 func (o *Optimistic[K, V]) foldBottom(st *ostate[K, V]) {
+	o.tuneBeforeFold(st.tree)
 	merged := st.tree.MergeCOW(st.frozen[0].ops())
 	o.mu.Lock()
 	defer o.mu.Unlock()

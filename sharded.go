@@ -26,6 +26,16 @@ const (
 	// below want*minShardElements total elements the facade never
 	// re-partitions.
 	minShardElements = 64
+	// minSkewWrites is the write-tally floor for the write-skew rebalance
+	// trigger: fences only move for write imbalance once this many writes
+	// have accumulated on the current shard set, so a freshly published
+	// set cannot be re-partitioned on a handful of samples.
+	minSkewWrites = 4096
+	// shardWriteBoostMax caps the extra fence weight a write-hot region
+	// can earn: a segment's weight is multiplied by at most
+	// 1+shardWriteBoostMax, narrowing hot shards without letting one
+	// scorching chunk dominate the whole partitioning.
+	shardWriteBoostMax = 7
 )
 
 // Sharded is a range-partitioned multi-writer facade: it owns a set of
@@ -71,6 +81,7 @@ type Sharded[K Key, V any] struct {
 	flushAt      atomic.Int64  // forwarded to every shard, current and future
 	maxFrozen    atomic.Int64  // forwarded to every shard, current and future
 	asyncOff     atomic.Bool   // forwarded to every shard, current and future
+	autoTuneOn   atomic.Bool   // forwarded to every shard, current and future
 	factor       atomic.Uint64 // rebalance skew factor (math.Float64bits)
 	writes       atomic.Uint64 // write counter gating the skew check
 	rebalancedAt atomic.Int64  // total elements when fences were last computed
@@ -87,41 +98,84 @@ type shardSet[K Key, V any] struct {
 	shards      []*Optimistic[K, V]
 	opts        Options
 	versionBase uint64 // accumulated Version() sum of retired shard sets
+	// shardWrites tallies writes routed to each shard since this set was
+	// published, feeding the write-skew rebalance trigger: a shard
+	// absorbing an outsized share of the traffic serializes its writers
+	// even when element counts are balanced. Reset naturally when a
+	// rebalance publishes a fresh set.
+	shardWrites []atomic.Uint64
 }
 
 // balancedFences picks the fence keys for a shard split of the sorted
-// element run. Segment/page start keys (weighted by element count) are the
-// preferred cut points — they are the distribution summary the tree
+// element run. Segment/page start keys (weighted by element count, and
+// optionally boosted by sampled write rate — see writeBoostedWeights) are
+// the preferred cut points — they are the distribution summary the tree
 // already maintains, so skewed data naturally gets narrow hot shards and
 // wide cold ones. But the segmentation can be too coarse to balance on:
 // near-linear data collapses into a handful of huge segments (one, in the
-// limit), leaving no candidate anywhere near the even share. When the
-// segment-start fences cannot keep every range within 1.5× the even
-// share, the partitioner falls back to element-count quantiles of the run
-// itself, advancing each cut past its duplicate run so every key still
-// routes to exactly one shard.
+// limit), leaving no candidate anywhere near the even share. The balance
+// check runs in weight space — each range's summed weight against 1.5×
+// the even weight share — so boosted weights stay honored: a write-hot
+// range is allowed to hold fewer elements by design. When the
+// segment-start fences cannot balance the weights, the partitioner falls
+// back to element-count quantiles of the run itself, advancing each cut
+// past its duplicate run so every key still routes to exactly one shard.
 func balancedFences[K Key](keys []K, starts []K, weights []int, want int) []K {
 	bounds := core.PartitionByWeight(starts, weights, want)
 	if len(bounds) == want-1 {
-		share := len(keys) / want
-		lo := 0
+		total := 0
+		for _, w := range weights {
+			total += w
+		}
+		share := total / want
+		si := 0
 		balanced := true
 		for i := 0; i <= len(bounds); i++ {
-			hi := len(keys)
-			if i < len(bounds) {
-				hi = lowerBound(keys, bounds[i])
+			mass := 0
+			for si < len(starts) && (i == len(bounds) || starts[si] < bounds[i]) {
+				mass += weights[si]
+				si++
 			}
-			if hi-lo > share+share/2 {
+			if mass > share+share/2 {
 				balanced = false
 				break
 			}
-			lo = hi
 		}
 		if balanced {
 			return bounds
 		}
 	}
 	return quantileFences(keys, want)
+}
+
+// writeBoostedWeights scales each fence candidate's weight by the sampled
+// write rate of the chunk covering it: weight × (1 + min(shardWriteBoostMax,
+// ⌊4·writes/element⌋)). Heavier candidates make the partitioner cut hot
+// ranges narrower, spreading a write hotspot across several shard mutexes
+// while cold ranges widen to keep element totals sane. loads must be
+// ascending by Start (ChunkLoads output, concatenated in fence order);
+// with no load samples the weights pass through unchanged.
+func writeBoostedWeights[K Key](starts []K, weights []int, loads []core.ChunkLoad[K]) []int {
+	if len(loads) == 0 {
+		return weights
+	}
+	out := make([]int, len(weights))
+	li := 0
+	for i, st := range starts {
+		for li+1 < len(loads) && loads[li+1].Start <= st {
+			li++
+		}
+		boost := 1
+		if l := loads[li]; l.Elements > 0 {
+			b := int(4 * float64(l.Writes) / float64(l.Elements))
+			if b > shardWriteBoostMax {
+				b = shardWriteBoostMax
+			}
+			boost += b
+		}
+		out[i] = weights[i] * boost
+	}
+	return out
 }
 
 // quantileFences cuts the sorted run at element-count quantiles. A cut
@@ -200,7 +254,7 @@ func NewSharded[K Key, V any](t *Tree[K, V], shards int) (*Sharded[K, V], error)
 	s.asyncOff.Store(runtime.GOMAXPROCS(0) <= 1)
 	s.factor.Store(math.Float64bits(DefaultRebalanceFactor))
 	ss, err := newShardSet(keys, vals, starts, weights, t.Options(), shards, 0,
-		DefaultFlushEvery, DefaultMaxFrozenLayers, !s.asyncOff.Load())
+		DefaultFlushEvery, DefaultMaxFrozenLayers, !s.asyncOff.Load(), false)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +266,7 @@ func NewSharded[K Key, V any](t *Tree[K, V], shards int) (*Sharded[K, V], error)
 // newShardSet partitions the sorted (keys, vals) run along fences chosen
 // by balancedFences and bulk-loads one shard per range.
 func newShardSet[K Key, V any](keys []K, vals []V, starts []K, weights []int,
-	opts Options, want int, versionBase uint64, flushAt, maxFrozen int, async bool) (*shardSet[K, V], error) {
+	opts Options, want int, versionBase uint64, flushAt, maxFrozen int, async, autoTune bool) (*shardSet[K, V], error) {
 	bounds := balancedFences(keys, starts, weights, want)
 	shards := make([]*Optimistic[K, V], len(bounds)+1)
 	lo := 0
@@ -229,10 +283,12 @@ func newShardSet[K Key, V any](keys []K, vals []V, starts []K, weights []int,
 		o.SetFlushEvery(flushAt)
 		o.SetMaxFrozenLayers(maxFrozen)
 		o.SetAsyncFlush(async)
+		o.SetAutoTune(autoTune)
 		shards[i] = o
 		lo = hi
 	}
-	return &shardSet[K, V]{bounds: bounds, shards: shards, opts: opts, versionBase: versionBase}, nil
+	return &shardSet[K, V]{bounds: bounds, shards: shards, opts: opts, versionBase: versionBase,
+		shardWrites: make([]atomic.Uint64, len(shards))}, nil
 }
 
 // SetFlushEvery sets the per-shard delta flush threshold (see
@@ -321,6 +377,21 @@ func forEachShardParallel[K Key, V any](shards []*Optimistic[K, V], fn func(*Opt
 		}(sh)
 	}
 	wg.Wait()
+}
+
+// SetAutoTune enables or disables cost-model-driven self-tuning on every
+// shard (see Optimistic.SetAutoTune; disabled by default). Shard writes
+// additionally feed the skew-aware fence picker: a rebalance boosts the
+// fence weights of write-hot regions, so hot ranges get narrower shards.
+// Safe to call at any time; shards created by later rebalances inherit
+// the value.
+func (s *Sharded[K, V]) SetAutoTune(enabled bool) {
+	s.reshape.RLock()
+	defer s.reshape.RUnlock()
+	s.autoTuneOn.Store(enabled)
+	for _, sh := range s.set.Load().shards {
+		sh.SetAutoTune(enabled)
+	}
 }
 
 // SetRebalanceFactor sets the skew threshold: a boundary rebuild is
@@ -572,7 +643,9 @@ func (s *Sharded[K, V]) Insert(k K, v V) {
 	}
 	s.reshape.RLock()
 	ss := s.set.Load()
-	ss.shards[ss.shardFor(k)].Insert(k, v)
+	si := ss.shardFor(k)
+	ss.shards[si].Insert(k, v)
+	ss.shardWrites[si].Add(1)
 	s.reshape.RUnlock()
 	s.maybeRebalance()
 }
@@ -586,7 +659,9 @@ func (s *Sharded[K, V]) Delete(k K) bool {
 	}
 	s.reshape.RLock()
 	ss := s.set.Load()
-	ok := ss.shards[ss.shardFor(k)].Delete(k)
+	si := ss.shardFor(k)
+	ok := ss.shards[si].Delete(k)
+	ss.shardWrites[si].Add(1)
 	s.reshape.RUnlock()
 	if ok {
 		s.maybeRebalance()
@@ -605,7 +680,9 @@ func (s *Sharded[K, V]) DeleteValue(k K, v V) bool {
 	}
 	s.reshape.RLock()
 	ss := s.set.Load()
-	ok := ss.shards[ss.shardFor(k)].DeleteValue(k, v)
+	si := ss.shardFor(k)
+	ok := ss.shards[si].DeleteValue(k, v)
+	ss.shardWrites[si].Add(1)
 	s.reshape.RUnlock()
 	if ok {
 		s.maybeRebalance()
@@ -631,14 +708,16 @@ func (s *Sharded[K, V]) maybeRebalance() {
 // quarter since fences were last computed, so repeated checks against an
 // unsplittable distribution (e.g. one giant duplicate run) stay cheap.
 func (s *Sharded[K, V]) needsRebalance(ss *shardSet[K, V]) bool {
-	return shardsNeedRebalance(ss.shards, s.want, math.Float64frombits(s.factor.Load()),
-		int(s.rebalancedAt.Load()))
+	return shardsNeedRebalance(ss.shards, ss.shardWrites, s.want,
+		math.Float64frombits(s.factor.Load()), int(s.rebalancedAt.Load()))
 }
 
 // shardsNeedRebalance is the skew policy shared by Sharded and
-// DurableSharded; see Sharded.needsRebalance for the rules.
-func shardsNeedRebalance[K Key, V any](shards []*Optimistic[K, V], want int,
-	factor float64, rebalancedAt int) bool {
+// DurableSharded; see Sharded.needsRebalance for the rules. writes may be
+// nil when the caller keeps no per-shard write tallies; the write-skew
+// term is then skipped.
+func shardsNeedRebalance[K Key, V any](shards []*Optimistic[K, V], writes []atomic.Uint64,
+	want int, factor float64, rebalancedAt int) bool {
 	if math.IsInf(factor, 1) {
 		return false
 	}
@@ -652,6 +731,23 @@ func shardsNeedRebalance[K Key, V any](shards []*Optimistic[K, V], want int,
 	}
 	if total < want*minShardElements {
 		return false
+	}
+	// Write skew: one shard absorbing an outsized share of the write
+	// traffic serializes its writers even when element counts are
+	// balanced. Checked before the size-amortization guard because a
+	// pure-update workload never moves the total element count.
+	if len(writes) > 1 {
+		var totW, maxW uint64
+		for i := range writes {
+			w := writes[i].Load()
+			totW += w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if totW >= minSkewWrites && float64(maxW) > factor*float64(totW)/float64(len(writes)) {
+			return true
+		}
 	}
 	if at := rebalancedAt; at > 0 && total < at+at/4 && total > at/2 {
 		return false
@@ -697,8 +793,18 @@ func (s *Sharded[K, V]) rebalance() {
 		// Unreachable: ss.opts was normalized at construction.
 		panic(fmt.Sprintf("fitingtree: rebalance segmentation: %v", err))
 	}
+	// Feed the outgoing shards' sampled write rates into the fence picker:
+	// the drained base trees carry per-page write counters (seeded across
+	// rebuilds by carryLoad), so a write-hot key range boosts its fence
+	// weights and comes out split across narrower shards. Loads concatenate
+	// in fence order, matching the ascending starts.
+	var loads []core.ChunkLoad[K]
+	for _, st := range states {
+		loads = append(loads, st.tree.ChunkLoads()...)
+	}
+	weights = writeBoostedWeights(starts, weights, loads)
 	ns, err := newShardSet(keys, vals, starts, weights, ss.opts, s.want, base,
-		int(s.flushAt.Load()), int(s.maxFrozen.Load()), !s.asyncOff.Load())
+		int(s.flushAt.Load()), int(s.maxFrozen.Load()), !s.asyncOff.Load(), s.autoTuneOn.Load())
 	if err != nil {
 		// Unreachable: the collected run is sorted and NaN-free.
 		panic(fmt.Sprintf("fitingtree: rebalance: %v", err))

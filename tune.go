@@ -19,8 +19,9 @@ type TuneRequest struct {
 	// Candidates are the error thresholds to consider; defaults to powers
 	// of 10 from 10 to 1e6.
 	Candidates []int
-	// CacheMissNs is the modeled random access cost; 0 measures it on the
-	// running host with a pointer chase, the paper's methodology.
+	// CacheMissNs is the modeled random access cost; 0 uses a pointer-chase
+	// measurement of the running host (the paper's methodology), taken once
+	// per process and memoized.
 	CacheMissNs float64
 }
 
@@ -45,7 +46,7 @@ func Tune[K Key](keys []K, req TuneRequest) (TuneResult, error) {
 	}
 	c := req.CacheMissNs
 	if c <= 0 {
-		c = costmodel.MeasureCacheMissNs(64<<20, 1_000_000)
+		c = costmodel.CacheMissNs()
 	}
 	m, err := costmodel.Learn(keys, cands, c, btree.DefaultOrder, 0.5, 0.5)
 	if err != nil {
